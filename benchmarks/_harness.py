@@ -1,0 +1,54 @@
+"""Shared benchmark plumbing.
+
+Every benchmark does two things:
+
+* regenerate its experiment's table (the paper has no empirical tables,
+  so these operationalise the theorems — see DESIGN.md §5) and persist it
+  under ``benchmarks/results/`` for EXPERIMENTS.md;
+* time one representative run via pytest-benchmark, so performance
+  regressions in the simulator or protocols are visible.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis.report import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit_table(
+    name: str, rows, columns=None, title: str | None = None
+) -> str:
+    """Render, print, and persist one experiment table."""
+    text = format_table(rows, columns=columns, title=title or name)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.md").write_text(text)
+    print()
+    print(text)
+    return text
+
+
+def emit_figure(
+    name: str,
+    series,
+    title: str,
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Render, print, and persist one ASCII figure."""
+    from repro.analysis.ascii_chart import render_chart
+
+    chart = render_chart(
+        series, width=width, height=height,
+        x_label=x_label, y_label=y_label,
+    )
+    text = f"## {title}\n\n```\n{chart}\n```\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.md").write_text(text)
+    print()
+    print(text)
+    return text

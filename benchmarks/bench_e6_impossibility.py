@@ -1,0 +1,119 @@
+"""E6 — Synchrony is necessary (§9, Lemmas 9.1 and 9.2).
+
+Claim: with unknown n and f, consensus is impossible — even with
+probabilistic termination — in asynchronous and semi-synchronous systems.
+
+Regenerated table: over partition shapes, patience values, and delay
+bounds, the adversarial schedule *always* produces disagreement and the
+executions are log-for-log indistinguishable from solo systems (expect
+100% / 100%).
+"""
+
+from repro.asyncsim import (
+    estimate_disagreement_probability,
+    run_async_partition,
+    run_semisync_embedding,
+)
+
+from benchmarks._harness import emit_table
+
+
+def build_async_rows():
+    rows = []
+    for size_a, size_b in ((2, 2), (4, 4), (3, 9), (8, 8)):
+        for patience in (5.0, 50.0):
+            result = run_async_partition(
+                size_a=size_a, size_b=size_b, patience=patience
+            )
+            rows.append(
+                {
+                    "|A|": size_a,
+                    "|B|": size_b,
+                    "patience": patience,
+                    "disagreement": result.disagreement,
+                    "indistinguishable": result.indistinguishable,
+                }
+            )
+    return rows
+
+
+def build_semisync_rows():
+    rows = []
+    for delta_a, delta_b in ((1.0, 1.0), (1.0, 3.0), (0.5, 2.5)):
+        result = run_semisync_embedding(delta_a=delta_a, delta_b=delta_b)
+        rows.append(
+            {
+                "Δa": delta_a,
+                "Δb": delta_b,
+                "Δs": result.delta_s,
+                "disagreement": result.disagreement,
+                "indistinguishable": result.indistinguishable,
+                "bound respected": result.bound_respected,
+            }
+        )
+    return rows
+
+
+def test_e6_async(benchmark):
+    rows = build_async_rows()
+    emit_table(
+        "e6_async_impossibility",
+        rows,
+        title="E6a: Lemma 9.1 — async partition (expect disagreement +"
+        " indistinguishability everywhere)",
+    )
+    assert all(row["disagreement"] for row in rows)
+    assert all(row["indistinguishable"] for row in rows)
+    benchmark.pedantic(run_async_partition, rounds=5, iterations=1)
+
+
+def test_e6_probabilistic(benchmark):
+    """The lemma's 'non-zero probability' phrasing: if nature partitions
+    with probability q, disagreement happens with probability >= q —
+    measured, the rate tracks q with no algorithmic mitigation."""
+    rows = []
+    for q in (0.0, 0.1, 0.3, 0.7, 1.0):
+        result = estimate_disagreement_probability(
+            partition_probability=q, runs=30, seed=int(q * 100)
+        )
+        rows.append(
+            {
+                "partition prob q": q,
+                "measured disagreement rate": round(
+                    result.disagreement_rate, 2
+                ),
+            }
+        )
+    emit_table(
+        "e6_probabilistic",
+        rows,
+        title="E6c: disagreement probability tracks the partition"
+        " probability (expect rate ≈ q)",
+    )
+    for row in rows:
+        assert (
+            abs(
+                row["measured disagreement rate"]
+                - row["partition prob q"]
+            )
+            <= 0.25
+        )
+    benchmark.pedantic(
+        lambda: estimate_disagreement_probability(0.3, runs=10),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e6_semisync(benchmark):
+    rows = build_semisync_rows()
+    emit_table(
+        "e6_semisync_impossibility",
+        rows,
+        title="E6b: Lemma 9.2 — semi-sync embedding (expect disagreement"
+        " with the delay bound respected)",
+    )
+    assert all(row["disagreement"] for row in rows)
+    assert all(row["indistinguishable"] for row in rows)
+    assert all(row["bound respected"] for row in rows)
+    benchmark.pedantic(run_semisync_embedding, rounds=5, iterations=1)

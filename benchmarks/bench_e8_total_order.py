@@ -1,0 +1,96 @@
+"""E8 — Total ordering under churn (Theorem 11.1).
+
+Claim: chains satisfy chain-prefix and chain-growth while participants
+join and leave, subject to n > 3f per round.
+
+Regenerated table: per churn level (joins + one leave), prefix-check
+pass rate (expect 100%), chain length achieved, and finality lag.
+"""
+
+from repro.adversary import SilentStrategy
+from repro.analysis.checkers import check_chain_prefix
+from repro.core.total_order import TotalOrderNode, events_from_dict
+from repro.sim.membership import MembershipSchedule
+from repro.sim.network import SyncNetwork
+from repro.sim.rng import make_rng, sparse_ids
+
+from benchmarks._harness import emit_table
+
+SEEDS = range(5)
+ROUNDS = 95
+
+
+def one_run(joins: int, leaves: int, seed: int):
+    rng = make_rng(seed)
+    ids = sparse_ids(7 + 2 + joins, rng)
+    founders, byz, joiners = ids[:7], ids[7:9], ids[9:]
+
+    membership = MembershipSchedule()
+    for offset, joiner in enumerate(joiners):
+        membership.join(
+            14 + 7 * offset, joiner, lambda: TotalOrderNode(seed=False)
+        )
+
+    network = SyncNetwork(seed=seed, membership=membership)
+    for index, node_id in enumerate(founders):
+        node = TotalOrderNode(
+            event_source=events_from_dict(
+                {r: f"e{index}@{r}" for r in range(2, 60, 5)}
+            )
+        )
+        if index < leaves:
+            node.leave_at = 30 + 5 * index
+        network.add_correct(node_id, node)
+    for node_id in byz:
+        network.add_byzantine(node_id, SilentStrategy())
+    network.run(ROUNDS, until_all_halted=False)
+
+    chains = {}
+    lags = []
+    for node_id, protocol in network.protocols().items():
+        chains[node_id] = (
+            list(protocol.output) if protocol.halted else protocol.chain
+        )
+        if not protocol.halted and protocol.local_round:
+            lags.append(protocol.local_round - protocol.final_through)
+    report = check_chain_prefix(chains)
+    longest = max(chains.values(), key=len)
+    return report, len(longest), (max(lags) if lags else 0)
+
+
+def build_rows():
+    rows = []
+    for joins, leaves in ((0, 0), (2, 0), (0, 1), (3, 1)):
+        ok = 0
+        lengths = []
+        lags = []
+        for seed in SEEDS:
+            report, length, lag = one_run(joins, leaves, seed)
+            ok += report.ok
+            lengths.append(length)
+            lags.append(lag)
+        rows.append(
+            {
+                "joins": joins,
+                "leaves": leaves,
+                "prefix ok%": round(100 * ok / len(SEEDS), 1),
+                "chain length(max)": max(lengths),
+                "finality lag(max)": max(lags),
+            }
+        )
+    return rows
+
+
+def test_e8_table_and_timing(benchmark):
+    rows = build_rows()
+    emit_table(
+        "e8_total_order",
+        rows,
+        title="E8: total ordering under churn (expect prefix 100%,"
+        " growing chains, bounded lag)",
+    )
+    assert all(row["prefix ok%"] == 100.0 for row in rows)
+    assert all(row["chain length(max)"] > 0 for row in rows)
+    # finality lag bounded by the paper's 5|S|/2 + 2 budget (|S| <= 11)
+    assert all(row["finality lag(max)"] <= 5 * 11 // 2 + 4 for row in rows)
+    benchmark.pedantic(lambda: one_run(1, 0, 0), rounds=2, iterations=1)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Why Bitcoin needs synchrony: the §9 impossibility results, live.
+
+The paper proves that an agreement protocol designed to work without
+knowing n and f (such as Nakamoto's blockchain) "either must assume
+synchronous execution for guaranteed agreement or sacrifice agreement
+with some probability".  This demo realises both constructions:
+
+* Lemma 9.1 — asynchronous: partition the network; each side's execution
+  is *literally indistinguishable* (log-for-log) from a solo system, so
+  the sides decide their own inputs and disagree.
+* Lemma 9.2 — semi-synchronous: even with a hard delay bound Δs, if the
+  nodes don't know Δs, the adversary embeds two fast solo executions in
+  a slow composed system and gets the same disagreement without ever
+  violating the bound.
+
+Run:  python examples/impossibility_demo.py
+"""
+
+from repro.asyncsim import run_async_partition, run_semisync_embedding
+
+
+def main() -> None:
+    print("=" * 64)
+    print("Lemma 9.1 — asynchronous network, unknown n and f")
+    print("=" * 64)
+    result = run_async_partition(size_a=4, size_b=4, patience=10.0)
+    print(f"group A (input 1): {result.group_a}")
+    print(f"group B (input 0): {result.group_b}")
+    print(f"decisions: {result.decisions}")
+    print(f"disagreement:       {result.disagreement}")
+    print(f"indistinguishable from solo systems: "
+          f"{result.indistinguishable}")
+    print(
+        "\nEvery node in A saw *exactly* the same messages it would have\n"
+        "seen if B never existed (checked log-for-log), so no algorithm\n"
+        "could have done better: waiting longer only moves the bar the\n"
+        "adversary has to clear."
+    )
+
+    print()
+    print("=" * 64)
+    print("Lemma 9.2 — semi-synchronous: bounded delays, unknown bound")
+    print("=" * 64)
+    result = run_semisync_embedding(
+        size_a=4, size_b=4, delta_a=1.0, delta_b=2.0, patience=10.0
+    )
+    print(f"solo system A: delay bound {result.delta_a}, "
+          f"finished at t={result.duration_a}")
+    print(f"solo system B: delay bound {result.delta_b}, "
+          f"finished at t={result.duration_b}")
+    print(f"composed system delay bound Δs = {result.delta_s} "
+          "(every message respects it)")
+    print(f"decisions: {result.decisions}")
+    print(f"disagreement:       {result.disagreement}")
+    print(f"indistinguishable up to each decision: "
+          f"{result.indistinguishable}")
+    print(
+        "\nThe composed system IS semi-synchronous — every delay is at\n"
+        "most Δs — yet each group re-lives its fast solo execution and\n"
+        "decides before a single cross-group message arrives.  Knowing\n"
+        "that *some* bound exists is useless without knowing its value."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Byzantine agreement with unknown participants and failures.
+
+A full reproduction of Khanchandani & Wattenhofer, *Byzantine Agreement
+with Unknown Participants and Failures* (PODC 2020): every algorithm of
+the paper's *id-only* model — reliable broadcast, rotor-coordinator,
+early-terminating consensus, approximate agreement, parallel consensus,
+and dynamic total ordering — plus the classical known-``n, f`` baselines
+they generalize, a deterministic synchronous network simulator, a
+Byzantine adversary framework, and the §9 impossibility experiments.
+
+Quickstart::
+
+    from repro.sim import Scenario, run_scenario
+    from repro.core import EarlyConsensus
+    from repro.adversary import build_strategy
+
+    scenario = Scenario(
+        correct=7,
+        byzantine=2,
+        protocol_factory=lambda node_id, i: EarlyConsensus(i % 2),
+        strategy_factory=build_strategy("silent"),
+        seed=42,
+    )
+    result = run_scenario(scenario)
+    assert result.agreed
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+theorem-by-theorem reproduction results.
+"""
+
+from repro.types import BOTTOM, NodeId, Round, Value, is_bottom
+from repro.errors import (
+    ConfigurationError,
+    PropertyViolation,
+    ProtocolViolation,
+    ReproError,
+    RoundLimitExceeded,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOTTOM",
+    "ConfigurationError",
+    "NodeId",
+    "PropertyViolation",
+    "ProtocolViolation",
+    "ReproError",
+    "Round",
+    "RoundLimitExceeded",
+    "SimulationError",
+    "Value",
+    "__version__",
+    "is_bottom",
+]

@@ -1,0 +1,79 @@
+"""An adaptive adversary: infers the protocol from the wire, then attacks.
+
+All other strategies are told which protocol they face.  The adaptive
+strategy is protocol-agnostic: it watches the message kinds flowing by
+and picks the matching attack —
+
+* `value` traffic (approximate agreement)  -> split extreme values;
+* `input`/`prefer`/`strongprefer` (consensus family) -> mirror the
+  observed kinds back, split between the two most popular payloads;
+* `echo` traffic (RB / rotor / renaming)   -> echo-forge for phantoms;
+* anything else -> stay merely present.
+
+It is deliberately a *heuristic* adversary — the interesting result is
+that it still cannot break anything at n > 3f (the integration tests run
+it against every protocol).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.adversary.base import ByzantineStrategy
+from repro.sim.message import Send
+from repro.sim.network import AdversaryView
+
+QUORUM_KINDS = ("input", "prefer", "strongprefer")
+
+
+class AdaptiveStrategy(ByzantineStrategy):
+    """Watch, classify, attack."""
+
+    def __init__(self, phantom_base: int = 10**8):
+        self._announced = False
+        self._phantom_base = phantom_base
+
+    def on_round(self, view: AdversaryView) -> Iterable[Send]:
+        sends: list[Send] = []
+        if not self._announced:
+            self._announced = True
+            sends.append(self.broadcast("init"))
+            sends.append(self.broadcast("present"))
+
+        kinds = Counter(m.kind for m in view.inbox)
+        ordered = sorted(view.all_nodes)
+        half = len(ordered) // 2
+        lower, upper = ordered[:half], ordered[half:]
+
+        if kinds.get("value"):
+            sends.extend(self.to(d, "value", -1e9) for d in lower)
+            sends.extend(self.to(d, "value", 1e9) for d in upper)
+
+        for kind in QUORUM_KINDS:
+            if not kinds.get(kind):
+                continue
+            payloads = Counter(
+                m.payload for m in view.inbox.filter(kind)
+            ).most_common(2)
+            value_a = payloads[0][0]
+            value_b = payloads[1][0] if len(payloads) > 1 else value_a
+            instance = next(
+                iter(
+                    m.instance
+                    for m in view.inbox.filter(kind)
+                ),
+                None,
+            )
+            sends.extend(
+                self.to(d, kind, value_a, instance=instance) for d in lower
+            )
+            sends.extend(
+                self.to(d, kind, value_b, instance=instance) for d in upper
+            )
+
+        if kinds.get("echo"):
+            phantom = self._phantom_base + view.node_id
+            sends.append(self.broadcast("echo", phantom))
+
+        return sends

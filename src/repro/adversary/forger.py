@@ -1,0 +1,94 @@
+"""Fabrication attacks: forged echoes and phantom participants.
+
+The model forbids forging a sender id in *direct* communication, but a
+Byzantine node "can help other Byzantine nodes to do so indirectly by
+claiming to have received messages from other, possibly non-existent,
+nodes".  These strategies exploit exactly that seam: they emit ``echo``
+messages for broadcasts that never happened and vouch for node ids that do
+not exist.  Unforgeability of reliable broadcast is the property under
+attack.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.adversary.base import ByzantineStrategy
+from repro.sim.message import Send
+from repro.sim.network import AdversaryView
+
+
+class EchoForgerStrategy(ByzantineStrategy):
+    """Every round, echoes a message that was never sent.
+
+    ``forged_payload`` defaults to a message attributed to a (correct)
+    victim id chosen from the live population — the strongest variant,
+    since a quorum-confused node would then blame an innocent sender.
+    """
+
+    def __init__(
+        self,
+        kind: str = "echo",
+        forged_payload: Hashable | None = None,
+        announce_kind: str = "present",
+    ):
+        self._kind = kind
+        self._forged_payload = forged_payload
+        self._announce_kind = announce_kind
+        self._announced = False
+
+    def on_round(self, view: AdversaryView) -> Iterable[Send]:
+        sends: list[Send] = []
+        if not self._announced:
+            self._announced = True
+            sends.append(self.broadcast(self._announce_kind))
+        payload = self._forged_payload
+        if payload is None:
+            victim = min(view.correct_nodes) if view.correct_nodes else 0
+            payload = ("forged", victim)
+        sends.append(self.broadcast(self._kind, payload))
+        return sends
+
+
+class MembershipLiarStrategy(ByzantineStrategy):
+    """Lies about who participates.
+
+    Two lies per round, both allowed by the model:
+
+    * vouches for ``phantoms`` non-existent node ids (broadcast
+      ``echo(phantom)`` as if those nodes had announced themselves);
+    * reveals *itself* to only the lower half of the network (sends
+      ``present`` to half), so different correct nodes hold permanently
+      inconsistent ``n_v``.
+
+    This is the adversary the introduction warns about: "the correct nodes
+    never have a consistent information about the number of participants".
+    """
+
+    def __init__(
+        self,
+        phantoms: int = 2,
+        echo_kind: str = "echo",
+        present_kind: str = "present",
+        phantom_base: int = 10**7,
+    ):
+        self._phantoms = phantoms
+        self._echo_kind = echo_kind
+        self._present_kind = present_kind
+        self._phantom_base = phantom_base
+        self._announced = False
+
+    def on_round(self, view: AdversaryView) -> Iterable[Send]:
+        sends: list[Send] = []
+        if not self._announced:
+            self._announced = True
+            lower_half = sorted(view.all_nodes)[
+                : max(1, len(view.all_nodes) // 2)
+            ]
+            sends.extend(
+                self.to(dest, self._present_kind) for dest in lower_half
+            )
+        for k in range(self._phantoms):
+            phantom_id = self._phantom_base + view.node_id + k
+            sends.append(self.broadcast(self._echo_kind, phantom_id))
+        return sends

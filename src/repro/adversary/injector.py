@@ -1,0 +1,44 @@
+"""Value injection against approximate agreement.
+
+The classic worst case for trimmed-range agreement: Byzantine nodes report
+extreme values, and *different* extremes to different nodes, trying to pull
+outputs outside the correct input range or keep the range from shrinking.
+Lemma aaWithin/aaMed say the trimming defeats this for ``n > 3f``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.adversary.base import ByzantineStrategy
+from repro.sim.message import Send
+from repro.sim.network import AdversaryView
+
+
+class ValueInjectorStrategy(ByzantineStrategy):
+    """Sends ``low`` to the lower-id half and ``high`` to the rest, every
+    round, for a configurable value-carrying message kind."""
+
+    def __init__(
+        self,
+        kind: str = "value",
+        low: float = -1e9,
+        high: float = 1e9,
+        announce_kind: str | None = None,
+    ):
+        self._kind = kind
+        self._low = low
+        self._high = high
+        self._announce_kind = announce_kind
+        self._announced = False
+
+    def on_round(self, view: AdversaryView) -> Iterable[Send]:
+        sends: list[Send] = []
+        if self._announce_kind and not self._announced:
+            self._announced = True
+            sends.append(self.broadcast(self._announce_kind))
+        ordered = sorted(view.all_nodes)
+        half = len(ordered) // 2
+        sends.extend(self.to(d, self._kind, self._low) for d in ordered[:half])
+        sends.extend(self.to(d, self._kind, self._high) for d in ordered[half:])
+        return sends

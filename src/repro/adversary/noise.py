@@ -1,0 +1,63 @@
+"""Randomized chaos: well-formed garbage at full rate.
+
+Useful both as a fuzzing adversary (does any protocol state machine crash
+on unexpected-but-well-formed messages?) and as a baseline stressor in the
+resiliency sweeps.  All randomness comes from the network's seeded RNG, so
+chaos is reproducible chaos.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.adversary.base import ByzantineStrategy
+from repro.sim.message import Send
+from repro.sim.network import AdversaryView
+
+#: Message kinds that appear across the core protocols; the noise strategy
+#: speaks the whole vocabulary by default.
+DEFAULT_VOCABULARY: tuple[str, ...] = (
+    "present",
+    "init",
+    "echo",
+    "input",
+    "prefer",
+    "strongprefer",
+    "nopreference",
+    "nostrongpreference",
+    "opinion",
+    "value",
+    "terminate",
+    "ack",
+    "absent",
+)
+
+
+class RandomNoiseStrategy(ByzantineStrategy):
+    """Each round sends ``rate`` random messages with random kinds, random
+    payloads, and random recipients (or broadcast)."""
+
+    def __init__(
+        self,
+        rate: int = 3,
+        vocabulary: Sequence[str] = DEFAULT_VOCABULARY,
+        payload_pool: Sequence = (0, 1, -1, 42, None, "x", (0, 1)),
+        broadcast_probability: float = 0.5,
+    ):
+        self._rate = rate
+        self._vocabulary = tuple(vocabulary)
+        self._payload_pool = tuple(payload_pool)
+        self._broadcast_probability = broadcast_probability
+
+    def on_round(self, view: AdversaryView) -> Iterable[Send]:
+        rng = view.rng
+        sends: list[Send] = []
+        targets = sorted(view.all_nodes)
+        for _ in range(self._rate):
+            kind = rng.choice(self._vocabulary)
+            payload = rng.choice(self._payload_pool)
+            if rng.random() < self._broadcast_probability or not targets:
+                sends.append(self.broadcast(kind, payload))
+            else:
+                sends.append(self.to(rng.choice(targets), kind, payload))
+        return sends

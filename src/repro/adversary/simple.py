@@ -1,0 +1,104 @@
+"""Under-participation and crash-style strategies.
+
+These attack the paper's central quantity ``n_v`` (the number of nodes a
+correct node has ever heard from).  A silent Byzantine node keeps itself out
+of some nodes' ``n_v`` while other Byzantine nodes may still vouch for it; a
+present-only node inflates every ``n_v`` and then contributes nothing to any
+quorum; a crashing node flips between the two mid-protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.adversary.base import ByzantineStrategy, ProtocolWrappingStrategy
+from repro.sim.message import Send
+from repro.sim.network import AdversaryView
+from repro.sim.node import Protocol
+
+
+class SilentStrategy(ByzantineStrategy):
+    """Never sends anything.
+
+    The weakest adversary, but not a no-op: a correct node's ``n_v`` then
+    counts only the other participants, which shifts every ``n_v/3``
+    threshold relative to the true ``n``.
+    """
+
+    def on_round(self, view: AdversaryView) -> Iterable[Send]:
+        return ()
+
+
+class PresentOnlyStrategy(ByzantineStrategy):
+    """Broadcasts ``present`` in its first round, then stays silent.
+
+    Inflates every correct node's ``n_v`` by one while never helping any
+    quorum — the proofs' ``f_v'`` (counted faulty) with ``f_v'' = 0``
+    (contributing faulty) case.
+    """
+
+    def __init__(self, kind: str = "present"):
+        self._kind = kind
+        self._announced = False
+
+    def on_round(self, view: AdversaryView) -> Iterable[Send]:
+        if self._announced:
+            return ()
+        self._announced = True
+        return (self.broadcast(self._kind),)
+
+
+class CrashStrategy(ProtocolWrappingStrategy):
+    """Runs the correct protocol, then fail-stops at ``crash_round``.
+
+    A clean benign-fault injection: the node is in every quorum up to the
+    crash and in none after, without ever lying.
+    """
+
+    def __init__(self, protocol: Protocol, crash_round: int):
+        super().__init__(protocol)
+        self.crash_round = crash_round
+
+    def transform(
+        self, sends: list[Send], view: AdversaryView
+    ) -> Iterable[Send]:
+        if view.round >= self.crash_round:
+            return ()
+        return sends
+
+
+class HalfCrashStrategy(ProtocolWrappingStrategy):
+    """Crashes *mid-broadcast*: from ``crash_round`` on, each broadcast
+    reaches only the lower-id half of the network.
+
+    The classic "crash during send" behaviour that distinguishes Byzantine
+    reliable broadcast from best-effort broadcast.
+    """
+
+    def __init__(self, protocol: Protocol, crash_round: int):
+        super().__init__(protocol)
+        self.crash_round = crash_round
+
+    def transform(
+        self, sends: list[Send], view: AdversaryView
+    ) -> Iterable[Send]:
+        if view.round < self.crash_round:
+            return sends
+        if view.round > self.crash_round:
+            return ()
+        lower_half = sorted(view.all_nodes)[: max(1, len(view.all_nodes) // 2)]
+        partial: list[Send] = []
+        for send in sends:
+            partial.extend(self.explode_broadcast(send, lower_half))
+        return partial
+
+
+def crash_factory(
+    protocol_factory: Callable[[], Protocol], crash_round: int
+) -> Callable[[], CrashStrategy]:
+    """Convenience: a zero-arg factory producing fresh crash strategies."""
+
+    def build() -> CrashStrategy:
+        return CrashStrategy(protocol_factory(), crash_round)
+
+    return build

@@ -1,0 +1,56 @@
+"""Run analysis: property checkers, statistics, sweeps, and reports.
+
+* :mod:`~repro.analysis.checkers` — machine-checkable versions of every
+  guarantee the paper proves (agreement, validity, the three
+  reliable-broadcast properties, the rotor's good round, approximate
+  agreement's range conditions, chain prefix/growth);
+* :mod:`~repro.analysis.stats` — aggregate many runs into summary rows;
+* :mod:`~repro.analysis.sweep` — parameter grids over (n, f, adversary,
+  seed);
+* :mod:`~repro.analysis.report` — ASCII tables for EXPERIMENTS.md.
+"""
+
+from repro.analysis.checkers import (
+    CheckReport,
+    check_agreement,
+    check_approx_agreement,
+    check_chain_prefix,
+    check_parallel_outputs,
+    check_reliable_broadcast,
+    check_rotor_good_round,
+    check_validity,
+)
+from repro.analysis.stats import RunStats, summarize_runs
+from repro.analysis.sweep import SweepResult, sweep
+from repro.analysis.complexity import classify_growth, fit_line
+from repro.analysis.monitor import (
+    AgreementMonitor,
+    BoundMonitor,
+    RelayMonitor,
+    TraceMonitor,
+)
+from repro.analysis.report import format_table
+from repro.analysis.timeline import render_timeline
+
+__all__ = [
+    "AgreementMonitor",
+    "BoundMonitor",
+    "CheckReport",
+    "RelayMonitor",
+    "RunStats",
+    "SweepResult",
+    "TraceMonitor",
+    "check_agreement",
+    "check_approx_agreement",
+    "check_chain_prefix",
+    "check_parallel_outputs",
+    "check_reliable_broadcast",
+    "check_rotor_good_round",
+    "check_validity",
+    "classify_growth",
+    "fit_line",
+    "format_table",
+    "render_timeline",
+    "summarize_runs",
+    "sweep",
+]

@@ -1,0 +1,86 @@
+"""ASCII line charts: the repository's "figures".
+
+The paper has no figures; the benchmarks generate series (convergence
+curves, skew trajectories, erosion cliffs) that want more than a table
+row.  This renderer produces dependency-free ASCII charts that live
+happily inside Markdown code fences in EXPERIMENTS.md::
+
+    range
+    8.00 |*
+         |
+    4.00 | *
+         |
+    2.00 |  *
+    1.00 |   *  *
+         +---------
+          round ->
+
+Marks are placed per (x, y) sample; multiple series get distinct glyphs
+and a legend.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Default per-series glyphs.
+GLYPHS = "*o+x#@"
+
+
+def render_chart(
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more equally-sampled series as an ASCII chart.
+
+    Args:
+        series: name -> samples (all series share the x axis; shorter
+            series simply stop early).
+        width/height: plot area in characters.
+        x_label/y_label: axis captions.
+    """
+    if not series:
+        return "(no data)"
+    all_values = [v for samples in series.values() for v in samples]
+    if not all_values:
+        return "(no data)"
+    lo, hi = min(all_values), max(all_values)
+    span = hi - lo or 1.0
+    max_len = max(len(samples) for samples in series.values())
+    if max_len < 2:
+        x_scale = 0.0
+    else:
+        x_scale = (width - 1) / (max_len - 1)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, samples) in enumerate(sorted(series.items())):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        for sample_index, value in enumerate(samples):
+            column = int(round(sample_index * x_scale))
+            row = int(round((hi - value) / span * (height - 1)))
+            row = max(0, min(height - 1, row))
+            column = max(0, min(width - 1, column))
+            grid[row][column] = glyph
+
+    label_width = max(len(f"{hi:.3g}"), len(f"{lo:.3g}"), len(y_label))
+    lines = [f"{y_label.rjust(label_width)}"]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{hi:.3g}".rjust(label_width)
+        elif row_index == height - 1:
+            label = f"{lo:.3g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(f"{' ' * label_width} +{'-' * width}")
+    lines.append(f"{' ' * label_width}  {x_label} ->")
+    if len(series) > 1:
+        legend = "  ".join(
+            f"{GLYPHS[i % len(GLYPHS)]} {name}"
+            for i, name in enumerate(sorted(series))
+        )
+        lines.append(f"{' ' * label_width}  [{legend}]")
+    return "\n".join(lines)

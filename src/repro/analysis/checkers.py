@@ -1,0 +1,293 @@
+"""Machine-checkable versions of the paper's guarantees.
+
+Each checker inspects a finished :class:`~repro.sim.runner.ScenarioResult`
+(or raw protocols/traces) and returns a :class:`CheckReport`; call
+:meth:`CheckReport.raise_if_failed` to turn violations into
+:class:`~repro.errors.PropertyViolation`.  Benchmarks report the pass
+rate; tests assert it is 100% for ``n > 3f``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable
+
+from repro.errors import PropertyViolation
+from repro.sim.runner import ScenarioResult
+from repro.types import NodeId
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one property check."""
+
+    name: str
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, message: str) -> None:
+        self.violations.append(message)
+
+    def raise_if_failed(self) -> "CheckReport":
+        if not self.ok:
+            raise PropertyViolation(
+                f"{self.name}: " + "; ".join(self.violations)
+            )
+        return self
+
+    def merged_with(self, other: "CheckReport") -> "CheckReport":
+        merged = CheckReport(f"{self.name}+{other.name}")
+        merged.violations = [*self.violations, *other.violations]
+        return merged
+
+
+# ---------------------------------------------------------------------------
+# Consensus-shaped protocols
+# ---------------------------------------------------------------------------
+def check_agreement(result: ScenarioResult) -> CheckReport:
+    """Every correct node decided, and on a single common value."""
+    report = CheckReport("agreement")
+    missing = [n for n in result.correct_ids if n not in result.outputs]
+    if missing:
+        report.add(f"nodes never decided: {sorted(missing)}")
+    if len(result.distinct_outputs) > 1:
+        report.add(f"conflicting outputs: {result.outputs}")
+    return report
+
+
+def check_validity(
+    result: ScenarioResult, correct_inputs: Iterable[Hashable]
+) -> CheckReport:
+    """Outputs must be an input of some correct node; unanimous inputs
+    force that exact output."""
+    report = CheckReport("validity")
+    inputs = list(correct_inputs)
+    allowed = set(inputs)
+    for node, output in result.outputs.items():
+        if output not in allowed:
+            report.add(f"node {node} output {output!r} not a correct input")
+    if len(allowed) == 1:
+        (only,) = allowed
+        for node, output in result.outputs.items():
+            if output != only:
+                report.add(
+                    f"unanimous input {only!r} but node {node} output "
+                    f"{output!r}"
+                )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Reliable broadcast (correctness / unforgeability / relay)
+# ---------------------------------------------------------------------------
+def check_reliable_broadcast(
+    result: ScenarioResult,
+    sender_id: NodeId,
+    message: Hashable,
+    sender_correct: bool,
+) -> CheckReport:
+    """All three Algorithm-1 properties, from the run's trace and state.
+
+    * correctness — a correct sender's message is accepted by every
+      correct node (the proof shows: by round 3);
+    * unforgeability — a tag ``(m, s)`` with correct ``s`` is accepted
+      only if ``s`` really broadcast ``m`` (trace event ``rb-sent``);
+    * relay — per tag, the earliest and latest correct acceptance rounds
+      differ by at most one.
+    """
+    report = CheckReport("reliable-broadcast")
+    protocols = {
+        n: result.protocols[n]
+        for n in result.correct_ids
+        if n in result.protocols
+    }
+    tag = (message, sender_id)
+
+    if sender_correct:
+        for node, protocol in protocols.items():
+            accepted_round = protocol.accepted.get(tag)
+            if accepted_round is None:
+                report.add(f"correctness: node {node} never accepted {tag}")
+            elif accepted_round > 3:
+                report.add(
+                    f"correctness: node {node} accepted {tag} only in "
+                    f"round {accepted_round}"
+                )
+
+    sent_events = result.trace.of("rb-sent", node=sender_id)
+    sent_payloads = {e.get("message") for e in sent_events}
+    if sender_correct:
+        for node, protocol in protocols.items():
+            for (payload, origin), _round in protocol.accepted.items():
+                if origin == sender_id and payload not in sent_payloads:
+                    report.add(
+                        f"unforgeability: node {node} accepted "
+                        f"({payload!r}, {origin}) never sent by the sender"
+                    )
+
+    acceptance_rounds: dict[Hashable, list[int]] = {}
+    for protocol in protocols.values():
+        for accepted_tag, round_no in protocol.accepted.items():
+            acceptance_rounds.setdefault(accepted_tag, []).append(round_no)
+    for accepted_tag, rounds in acceptance_rounds.items():
+        if len(rounds) < len(protocols):
+            report.add(
+                f"relay: {accepted_tag} accepted by only {len(rounds)}/"
+                f"{len(protocols)} correct nodes"
+            )
+        elif max(rounds) - min(rounds) > 1:
+            report.add(
+                f"relay: {accepted_tag} acceptance spread over rounds "
+                f"{min(rounds)}..{max(rounds)}"
+            )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Parallel consensus / interactive consistency (Theorem 10.1)
+# ---------------------------------------------------------------------------
+def check_parallel_outputs(
+    result: ScenarioResult,
+    inputs_by_node: dict[NodeId, dict],
+) -> CheckReport:
+    """Theorem 10.1's three conditions over pair-set outputs.
+
+    ``inputs_by_node`` maps each correct node to its ``{id: value}``
+    input pairs.  Checks: agreement (identical output sets — implied by
+    :func:`check_agreement`, repeated here for a self-contained
+    verdict); validity (a pair input identically at *every* correct node
+    appears in every output); no fabrication (an output id was input by
+    at least one correct node, with that node's value).
+    """
+    report = CheckReport("parallel-consensus")
+    agreement = check_agreement(result)
+    report.violations.extend(agreement.violations)
+    if not result.outputs:
+        return report
+
+    outputs = {node: dict(out) for node, out in result.outputs.items()}
+    correct = [n for n in result.correct_ids if n in outputs]
+
+    # validity: universally-held pairs must be everywhere
+    if correct:
+        common = dict(inputs_by_node.get(correct[0], {}))
+        for node in correct[1:]:
+            other = inputs_by_node.get(node, {})
+            common = {
+                k: v for k, v in common.items() if other.get(k) == v
+            }
+        for instance_id, value in common.items():
+            for node in correct:
+                if outputs[node].get(instance_id) != value:
+                    report.add(
+                        f"validity: pair ({instance_id!r}, {value!r}) "
+                        f"held by all correct nodes but missing/changed "
+                        f"at {node}"
+                    )
+
+    # no fabrication: every output pair traces to some correct input
+    claimed = {}
+    for node, pairs in inputs_by_node.items():
+        for instance_id, value in pairs.items():
+            claimed.setdefault(instance_id, set()).add(value)
+    for node in correct:
+        for instance_id, value in outputs[node].items():
+            if value not in claimed.get(instance_id, set()):
+                report.add(
+                    f"fabrication: node {node} output ({instance_id!r}, "
+                    f"{value!r}) never input by a correct node"
+                )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Rotor-coordinator (Theorem 6.3's good round)
+# ---------------------------------------------------------------------------
+def check_rotor_good_round(result: ScenarioResult) -> CheckReport:
+    """Some round saw every correct node accept the opinion of one common,
+    correct coordinator."""
+    report = CheckReport("rotor-good-round")
+    correct = set(result.correct_ids)
+    per_round: dict[int, dict[NodeId, tuple[NodeId, Any]]] = {}
+    for node in result.correct_ids:
+        protocol = result.protocols[node]
+        for round_no, coordinator, opinion in protocol.accepted_opinions:
+            per_round.setdefault(round_no, {})[node] = (coordinator, opinion)
+
+    for round_no, entries in sorted(per_round.items()):
+        if set(entries) != correct:
+            continue
+        coordinators = {coordinator for coordinator, _ in entries.values()}
+        if len(coordinators) == 1 and coordinators <= correct:
+            return report  # found a good round
+    report.add("no round with a common, correct, universally-heard coordinator")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Approximate agreement
+# ---------------------------------------------------------------------------
+def check_approx_agreement(
+    result: ScenarioResult,
+    correct_inputs: Iterable[float],
+    expect_halving: bool = True,
+) -> CheckReport:
+    """Outputs inside the correct input range; range at most halved."""
+    report = CheckReport("approximate-agreement")
+    inputs = list(correct_inputs)
+    lo, hi = min(inputs), max(inputs)
+    outputs = [result.outputs[n] for n in result.correct_ids]
+    for node, output in zip(result.correct_ids, outputs):
+        if not lo <= output <= hi:
+            report.add(
+                f"node {node} output {output} outside input range "
+                f"[{lo}, {hi}]"
+            )
+    spread = max(outputs) - min(outputs)
+    input_spread = hi - lo
+    if input_spread > 0:
+        limit = input_spread / 2 if expect_halving else input_spread
+        if spread > limit + 1e-12:
+            report.add(
+                f"output range {spread} exceeds {limit} "
+                f"(input range {input_spread})"
+            )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Total ordering (Theorem 11.1)
+# ---------------------------------------------------------------------------
+def check_chain_prefix(chains: dict[NodeId, list]) -> CheckReport:
+    """Pairwise prefix consistency, on the nodes' common range of rounds.
+
+    Full members must be strict prefixes of one another; a late joiner's
+    chain (starting at some round ``r0 > 1``) is compared against the
+    same-round suffix of the longer chains.
+    """
+    report = CheckReport("chain-prefix")
+    if not chains:
+        return report
+    reference = max(chains.values(), key=len)
+    for node, chain in chains.items():
+        if not chain:
+            continue
+        first_round = chain[0][0]
+        segment = [e for e in reference if e[0] >= first_round]
+        if segment[: len(chain)] != chain:
+            report.add(
+                f"node {node} chain diverges from the longest chain "
+                f"(first differing entry at index "
+                f"{_first_divergence(segment, chain)})"
+            )
+    return report
+
+
+def _first_divergence(a: list, b: list) -> int:
+    for index, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return index
+    return min(len(a), len(b))

@@ -1,0 +1,99 @@
+"""Complexity-curve fitting for the round/message claims.
+
+The paper states asymptotics — rotor `O(n)`, consensus `O(f)`, renaming
+`O(f)` — and the benchmarks measure finite sweeps.  This module turns a
+sweep into a verdict: fit linear and constant models to the measured
+series and report which one explains it, with the fitted slope.  Pure
+least squares over the stdlib; no scipy needed for a line.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def fit_line(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares with the coefficient of determination."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    mean_x = statistics.fmean(xs)
+    mean_y = statistics.fmean(ys)
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("xs are constant")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+    )
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0 else 1 - ss_res / ss_tot
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared)
+
+
+@dataclass(frozen=True)
+class GrowthVerdict:
+    """Classification of a measured series' growth."""
+
+    kind: str  # "constant" | "linear" | "superlinear"
+    fit: LinearFit
+    relative_slope: float  # slope normalised by mean(y)/mean(x)
+
+    @property
+    def is_linear_or_better(self) -> bool:
+        return self.kind in ("constant", "linear")
+
+
+def classify_growth(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    constant_tolerance: float = 0.15,
+) -> GrowthVerdict:
+    """Classify a series as constant / linear / superlinear in ``x``.
+
+    ``constant``: the fitted slope explains less than
+    ``constant_tolerance`` of the mean value per unit of the x-range —
+    i.e. y barely moves over the sweep.  ``superlinear``: a quadratic
+    term improves on the line by a wide margin.
+    """
+    fit = fit_line(xs, ys)
+    x_span = max(xs) - min(xs)
+    mean_y = statistics.fmean(ys)
+    movement = abs(fit.slope) * x_span
+    if mean_y > 0 and movement / mean_y < constant_tolerance:
+        kind = "constant"
+    else:
+        # compare the line against a quadratic fit on log-ratio terms:
+        # for a clean power law y ~ x^p, the slope of log y vs log x
+        # estimates p.
+        if min(xs) > 0 and min(ys) > 0:
+            log_fit = fit_line(
+                [math.log(x) for x in xs], [math.log(y) for y in ys]
+            )
+            kind = "superlinear" if log_fit.slope > 1.5 else "linear"
+        else:
+            kind = "linear"
+    rel = (
+        fit.slope / (mean_y / statistics.fmean(xs))
+        if mean_y and statistics.fmean(xs)
+        else 0.0
+    )
+    return GrowthVerdict(kind=kind, fit=fit, relative_slope=rel)

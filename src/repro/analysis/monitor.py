@@ -1,0 +1,116 @@
+"""Online invariant monitors: fail on the round a property breaks.
+
+Post-hoc checkers (:mod:`repro.analysis.checkers`) verify a finished
+run; when a seed misbehaves you then want the *round* where the
+violation was born.  Monitors subscribe to the run's live trace and
+raise :class:`~repro.errors.PropertyViolation` the moment an invariant
+breaks, so the traceback lands inside the offending round with all
+state intact.
+
+Usage::
+
+    network = SyncNetwork(seed=3)
+    AgreementMonitor().attach(network.trace)
+    ...
+    network.run(100)   # raises at the first conflicting decision
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.errors import PropertyViolation
+from repro.sim.trace import Trace, TraceEvent
+from repro.types import NodeId
+
+
+class TraceMonitor:
+    """Base class: subscribe to a trace and inspect each event."""
+
+    def attach(self, trace: Trace) -> "TraceMonitor":
+        trace.subscribe(self.on_event)
+        return self
+
+    def on_event(self, event: TraceEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class AgreementMonitor(TraceMonitor):
+    """Raises when two ``decide`` events carry different values.
+
+    Optionally scoped to a subset of nodes (pass the correct ids when
+    the network also hosts decided test doubles).
+    """
+
+    def __init__(self, nodes: set[NodeId] | None = None,
+                 event: str = "decide"):
+        self._nodes = nodes
+        self._event = event
+        self.first_value: Any = None
+        self.first_node: NodeId | None = None
+        self.decisions: dict[NodeId, Any] = {}
+
+    def on_event(self, event: TraceEvent) -> None:
+        if event.event != self._event:
+            return
+        if self._nodes is not None and event.node not in self._nodes:
+            return
+        value = event.get("value")
+        self.decisions[event.node] = value
+        if self.first_node is None:
+            self.first_node, self.first_value = event.node, value
+        elif value != self.first_value:
+            raise PropertyViolation(
+                f"agreement broken in round {event.round}: node "
+                f"{event.node} decided {value!r} but node "
+                f"{self.first_node} decided {self.first_value!r}"
+            )
+
+
+class RelayMonitor(TraceMonitor):
+    """Raises when reliable-broadcast acceptances of one tag spread over
+    more than ``window`` rounds (the relay property says <= 1)."""
+
+    def __init__(self, window: int = 1, event: str = "accept"):
+        self._window = window
+        self._event = event
+        self._first_round: dict[Hashable, int] = {}
+
+    def on_event(self, event: TraceEvent) -> None:
+        if event.event != self._event:
+            return
+        tag = event.get("tag")
+        first = self._first_round.setdefault(tag, event.round)
+        if event.round - first > self._window:
+            raise PropertyViolation(
+                f"relay broken: tag {tag!r} first accepted in round "
+                f"{first}, node {event.node} accepted in round "
+                f"{event.round}"
+            )
+
+
+class BoundMonitor(TraceMonitor):
+    """Raises when a numeric event field leaves a closed interval.
+
+    E.g. attach ``BoundMonitor('approx-iterate', 'estimate', lo, hi)``
+    to enforce Lemma aaWithin *during* an approximate-agreement run.
+    """
+
+    def __init__(self, event: str, field: str, lo: float, hi: float):
+        self._event = event
+        self._field = field
+        self._lo = lo
+        self._hi = hi
+
+    def on_event(self, event: TraceEvent) -> None:
+        if event.event != self._event:
+            return
+        value = event.get(self._field)
+        if value is None:
+            return
+        if not self._lo <= value <= self._hi:
+            raise PropertyViolation(
+                f"bound broken in round {event.round}: node "
+                f"{event.node} {self._event}.{self._field} = {value!r} "
+                f"outside [{self._lo}, {self._hi}]"
+            )

@@ -1,0 +1,82 @@
+"""ASCII table rendering for benchmark output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    rows: Sequence[dict],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict-rows as a GitHub-flavoured markdown table."""
+    rows = list(rows)
+    if not rows:
+        return f"## {title}\n(no data)\n" if title else "(no data)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return f"{value:g}"
+        return str(value)
+
+    widths = {
+        c: max(len(c), *(len(cell(r.get(c, ""))) for r in rows))
+        for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(f"## {title}")
+        lines.append("")
+    header = "| " + " | ".join(c.ljust(widths[c]) for c in columns) + " |"
+    rule = "|" + "|".join("-" * (widths[c] + 2) for c in columns) + "|"
+    lines.append(header)
+    lines.append(rule)
+    for row in rows:
+        lines.append(
+            "| "
+            + " | ".join(cell(row.get(c, "")).ljust(widths[c]) for c in columns)
+            + " |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+#: Eight-level block glyphs for sparklines.
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(series, lo: float | None = None, hi: float | None = None) -> str:
+    """Render a numeric series as a compact block-glyph sparkline.
+
+    Useful for showing convergence/erosion trajectories inside a table
+    cell, e.g. the per-round range of approximate agreement::
+
+        >>> sparkline([8, 4, 2, 1, 0.5, 0.25])
+        '█▄▂▁▁▁'
+    """
+    values = [float(v) for v in series]
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_GLYPHS[0] * len(values)
+    glyphs = []
+    for value in values:
+        level = int((value - lo) / span * (len(_SPARK_GLYPHS) - 1))
+        level = max(0, min(len(_SPARK_GLYPHS) - 1, level))
+        glyphs.append(_SPARK_GLYPHS[level])
+    return "".join(glyphs)
+
+
+def print_table(
+    rows: Sequence[dict],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> None:
+    """Print :func:`format_table` (the benchmarks' reporting primitive)."""
+    print(format_table(rows, columns, title))

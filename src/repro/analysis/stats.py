@@ -1,0 +1,64 @@
+"""Aggregate statistics over repeated runs."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.sim.runner import ScenarioResult
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Summary of a batch of runs of the same configuration."""
+
+    runs: int
+    success_rate: float
+    rounds_mean: float
+    rounds_median: float
+    rounds_max: int
+    sends_mean: float
+    sends_max: int
+
+    def as_row(self) -> dict:
+        return {
+            "runs": self.runs,
+            "ok%": round(100 * self.success_rate, 1),
+            "rounds(mean)": round(self.rounds_mean, 1),
+            "rounds(med)": self.rounds_median,
+            "rounds(max)": self.rounds_max,
+            "msgs(mean)": round(self.sends_mean, 0),
+            "msgs(max)": self.sends_max,
+        }
+
+
+def summarize_runs(
+    results: Iterable[ScenarioResult],
+    successes: Iterable[bool] | None = None,
+) -> RunStats:
+    """Summarize rounds/messages over many runs.
+
+    ``successes`` marks per-run property-check outcomes; omitted means
+    every run counts as a success.
+    """
+    results = list(results)
+    if not results:
+        raise ValueError("no runs to summarize")
+    if successes is None:
+        success_list = [True] * len(results)
+    else:
+        success_list = list(successes)
+        if len(success_list) != len(results):
+            raise ValueError("successes must match results 1:1")
+    rounds = [r.rounds for r in results]
+    sends = [r.metrics.sends_total for r in results]
+    return RunStats(
+        runs=len(results),
+        success_rate=sum(success_list) / len(success_list),
+        rounds_mean=statistics.fmean(rounds),
+        rounds_median=statistics.median(rounds),
+        rounds_max=max(rounds),
+        sends_mean=statistics.fmean(sends),
+        sends_max=max(sends),
+    )

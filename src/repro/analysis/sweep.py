@@ -1,0 +1,84 @@
+"""Parameter sweeps: run a scenario family over a grid of configurations.
+
+A sweep point is anything hashable (usually a tuple like ``(n, f)`` or an
+adversary name); the caller supplies a builder mapping
+``(point, seed) -> Scenario`` and a judge mapping a finished result to
+pass/fail.  The sweep runs every point over every seed and returns one
+summary row per point — the raw material for every benchmark table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.runner import Scenario, ScenarioResult, run_scenario
+from repro.analysis.stats import RunStats, summarize_runs
+
+ScenarioBuilder = Callable[[Hashable, int], Scenario]
+ResultJudge = Callable[[ScenarioResult], bool]
+
+
+@dataclass
+class SweepResult:
+    """All rows of one sweep."""
+
+    rows: list[dict] = field(default_factory=list)
+    stats: dict[Hashable, RunStats] = field(default_factory=dict)
+    failures: dict[Hashable, list[str]] = field(default_factory=dict)
+
+    def row_for(self, point: Hashable) -> dict:
+        for row in self.rows:
+            if row.get("point") == point:
+                return row
+        raise KeyError(point)
+
+
+def sweep(
+    points: Iterable[Hashable],
+    build: ScenarioBuilder,
+    judge: ResultJudge,
+    seeds: Sequence[int] = range(10),
+    crash_is_failure: bool = True,
+) -> SweepResult:
+    """Run the grid and summarize per point.
+
+    A run that raises :class:`~repro.errors.SimulationError` (round
+    budget exhausted — a liveness failure) counts as a failed run rather
+    than aborting the sweep when ``crash_is_failure`` is set; resiliency
+    sweeps past ``n > 3f`` rely on this.
+    """
+    outcome = SweepResult()
+    for point in points:
+        results: list[ScenarioResult] = []
+        successes: list[bool] = []
+        notes: list[str] = []
+        for seed in seeds:
+            scenario = build(point, seed)
+            try:
+                result = run_scenario(scenario)
+            except SimulationError as exc:
+                if not crash_is_failure:
+                    raise
+                notes.append(f"seed {seed}: {exc}")
+                continue
+            results.append(result)
+            ok = judge(result)
+            successes.append(ok)
+            if not ok:
+                notes.append(f"seed {seed}: property violation")
+        if results:
+            stats = summarize_runs(results, successes)
+        else:
+            stats = RunStats(0, 0.0, 0.0, 0.0, 0, 0.0, 0)
+        # Liveness failures count against the success rate.
+        total = len(list(seeds))
+        ok_runs = sum(successes)
+        row = {"point": point, **stats.as_row()}
+        row["ok%"] = round(100 * ok_runs / total, 1) if total else 0.0
+        outcome.rows.append(row)
+        outcome.stats[point] = stats
+        if notes:
+            outcome.failures[point] = notes
+    return outcome

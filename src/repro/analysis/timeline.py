@@ -1,0 +1,90 @@
+"""Round-by-round ASCII timelines from run traces.
+
+A compact visual debugging aid: one row per round, one column per
+correct node, showing the semantic events each node emitted (decide,
+accept, coordinator selections...).  Used by the examples and handy when
+a seed misbehaves::
+
+    r  | 42451      | 271494     | ...
+    1  | .          | .          |
+    3  | accept     | accept     |
+    7  | decide=1   | decide=1   |
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.sim.trace import Trace
+from repro.types import NodeId
+
+#: Default glyphs for frequent events, keeping columns narrow.
+DEFAULT_GLYPHS: Mapping[str, str] = {
+    "decide": "decide={value}",
+    "accept": "accept",
+    "accept-opinion": "opin<{coordinator}",
+    "rotor-select": "sel:{coordinator}",
+    "consensus-decide": "DEC={value}",
+    "adopt-coordinator": "adopt={value}",
+    "adopt-prefer": "pref={value}",
+    "instance-start": "start:{instance}",
+    "instance-join": "join:{instance}",
+    "instance-terminate": "done:{instance}",
+    "to-chain": "chain={length}",
+}
+
+
+def render_timeline(
+    trace: Trace,
+    nodes: Iterable[NodeId],
+    events: Iterable[str] | None = None,
+    glyphs: Mapping[str, str] = DEFAULT_GLYPHS,
+    max_rounds: int | None = None,
+) -> str:
+    """Render the trace as an ASCII grid (rounds x nodes).
+
+    ``events`` filters which event names appear (default: any event with
+    a glyph).  Cells with several events join them with ``,``.
+    """
+    nodes = list(nodes)
+    wanted = set(events) if events is not None else set(glyphs)
+
+    cells: dict[tuple[int, NodeId], list[str]] = {}
+    last_round = 0
+    for event in trace:
+        if event.node not in nodes or event.event not in wanted:
+            continue
+        if max_rounds is not None and event.round > max_rounds:
+            continue
+        template = glyphs.get(event.event, event.event)
+        try:
+            text = template.format(**event.detail)
+        except (KeyError, IndexError):
+            text = event.event
+        cells.setdefault((event.round, event.node), []).append(text)
+        last_round = max(last_round, event.round)
+
+    if not cells:
+        return "(no matching events)"
+
+    columns = {node: max(len(str(node)), 6) for node in nodes}
+    for (round_no, node), texts in cells.items():
+        columns[node] = max(columns[node], len(", ".join(texts)))
+
+    def row(label: str, values: list[str]) -> str:
+        body = " | ".join(
+            value.ljust(columns[node]) for node, value in zip(nodes, values)
+        )
+        return f"{label:>4} | {body}"
+
+    lines = [row("r", [str(node) for node in nodes])]
+    lines.append("-" * len(lines[0]))
+    for round_no in range(1, last_round + 1):
+        values = [
+            ", ".join(cells.get((round_no, node), []) or ["."])
+            for node in nodes
+        ]
+        if all(v == "." for v in values):
+            continue  # skip silent rounds
+        lines.append(row(str(round_no), values))
+    return "\n".join(lines)

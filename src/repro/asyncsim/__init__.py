@@ -1,0 +1,51 @@
+"""Event-driven (non-synchronous) simulation for the §9 impossibility results.
+
+The paper proves that without knowing ``n`` and ``f``, consensus is
+impossible — even with probabilistic termination — in asynchronous systems
+(unbounded delays) and semi-synchronous systems (bounded delays with an
+unknown bound).  Both proofs are indistinguishability arguments over delay
+assignments; this package realises exactly those executions:
+
+* :mod:`~repro.asyncsim.engine` — a deterministic discrete-event engine
+  with per-message delays chosen by a scheduler;
+* :mod:`~repro.asyncsim.schedulers` — uniform, jittered, and partition
+  schedulers (the adversary);
+* :mod:`~repro.asyncsim.naive_consensus` — the victim: a
+  wait-then-majority consensus attempt, the natural design when ``n`` and
+  ``f`` are unknown and no round structure exists;
+* :mod:`~repro.asyncsim.impossibility` — the experiment drivers for
+  Lemma 9.1 (async partition) and Lemma 9.2 (semi-sync embedding).
+"""
+
+from repro.asyncsim.engine import AsyncContext, AsyncEngine, AsyncNode
+from repro.asyncsim.schedulers import (
+    JitterScheduler,
+    PartitionScheduler,
+    UniformScheduler,
+)
+from repro.asyncsim.naive_consensus import StabilityDetector, WaitAndMajority
+from repro.asyncsim.impossibility import (
+    AsyncPartitionResult,
+    ProbabilisticResult,
+    SemiSyncEmbeddingResult,
+    estimate_disagreement_probability,
+    run_async_partition,
+    run_semisync_embedding,
+)
+
+__all__ = [
+    "AsyncContext",
+    "AsyncEngine",
+    "AsyncNode",
+    "AsyncPartitionResult",
+    "JitterScheduler",
+    "PartitionScheduler",
+    "ProbabilisticResult",
+    "SemiSyncEmbeddingResult",
+    "StabilityDetector",
+    "UniformScheduler",
+    "WaitAndMajority",
+    "estimate_disagreement_probability",
+    "run_async_partition",
+    "run_semisync_embedding",
+]

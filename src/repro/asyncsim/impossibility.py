@@ -1,0 +1,250 @@
+"""Experiment drivers for the §9 impossibility lemmas.
+
+Lemma 9.1 (asynchronous): partition an all-correct system into ``A``
+(input 1) and ``B`` (input 0); delay every cross-partition message past
+both groups' decisions.  Each group's execution is indistinguishable from
+a solo system containing only that group, so ``A`` decides 1 and ``B``
+decides 0 — disagreement with certainty under this schedule, hence with
+non-zero probability under any distribution that assigns it mass.
+
+Lemma 9.2 (semi-synchronous): run solo executions ``E_a`` (delay bound
+``Δ_a``, all inputs 1, duration ``T_a``) and ``E_b`` likewise with 0s;
+build the composed system with delay bound
+``Δ_s > max(Δ_a, T_a, Δ_b, T_b)``, replaying within-group delays and
+assigning ``Δ_s`` to cross-group messages.  Every delay respects the
+bound ``Δ_s`` — the system *is* semi-synchronous — yet each node behaves
+exactly as in its solo execution and the groups disagree.
+
+Indistinguishability is checked *literally*: each node's observable log
+(messages received before deciding, then the decision) from the composed
+run must equal its log from the solo run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asyncsim.engine import AsyncEngine
+from repro.asyncsim.naive_consensus import WaitAndMajority
+from repro.asyncsim.schedulers import PartitionScheduler, UniformScheduler
+from repro.types import NodeId
+
+
+@dataclass
+class AsyncPartitionResult:
+    """Outcome of the Lemma 9.1 experiment."""
+
+    decisions: dict[NodeId, int]
+    group_a: list[NodeId]
+    group_b: list[NodeId]
+    #: True when some pair of correct nodes decided differently.
+    disagreement: bool
+    #: True when every node's composed-run log equals its solo-run log
+    #: (the indistinguishability at the heart of the proof).
+    indistinguishable: bool
+
+
+def _solo_run(
+    ids: list[NodeId], value: int, patience: float, delay: float
+) -> AsyncEngine:
+    engine = AsyncEngine(UniformScheduler(delay))
+    for node_id in ids:
+        engine.add_node(node_id, WaitAndMajority(value, patience))
+    engine.run()
+    return engine
+
+
+def run_async_partition(
+    size_a: int = 4,
+    size_b: int = 4,
+    patience: float = 10.0,
+    within_delay: float = 1.0,
+) -> AsyncPartitionResult:
+    """Realise the Lemma 9.1 schedule and report what happened."""
+    group_a = list(range(1, size_a + 1))
+    group_b = list(range(101, 101 + size_b))
+
+    # The partitioned composed system: cross delays beyond all patience.
+    cross = patience * 1000
+    engine = AsyncEngine(
+        PartitionScheduler([group_a, group_b], within=within_delay, cross=cross)
+    )
+    for node_id in group_a:
+        engine.add_node(node_id, WaitAndMajority(1, patience))
+    for node_id in group_b:
+        engine.add_node(node_id, WaitAndMajority(0, patience))
+    # Stop before the delayed cross traffic lands: decisions are long made.
+    engine.run(until=cross / 2)
+    decisions = engine.outputs()
+
+    # The solo systems A and B for the indistinguishability check.
+    solo_a = _solo_run(group_a, 1, patience, within_delay)
+    solo_b = _solo_run(group_b, 0, patience, within_delay)
+    indistinguishable = all(
+        engine.node(nid).log == solo_a.node(nid).log for nid in group_a
+    ) and all(
+        engine.node(nid).log == solo_b.node(nid).log for nid in group_b
+    )
+
+    values = {decisions[nid] for nid in decisions}
+    return AsyncPartitionResult(
+        decisions=decisions,
+        group_a=group_a,
+        group_b=group_b,
+        disagreement=len(values) > 1,
+        indistinguishable=indistinguishable,
+    )
+
+
+@dataclass
+class SemiSyncEmbeddingResult:
+    """Outcome of the Lemma 9.2 experiment."""
+
+    delta_a: float
+    delta_b: float
+    delta_s: float
+    duration_a: float
+    duration_b: float
+    decisions: dict[NodeId, int]
+    disagreement: bool
+    indistinguishable: bool
+    #: True when every delay in the composed run respects delta_s — i.e.
+    #: the composed system genuinely is semi-synchronous with bound
+    #: delta_s.
+    bound_respected: bool
+
+
+def run_semisync_embedding(
+    size_a: int = 4,
+    size_b: int = 4,
+    delta_a: float = 1.0,
+    delta_b: float = 2.0,
+    patience: float = 10.0,
+) -> SemiSyncEmbeddingResult:
+    """Realise the Lemma 9.2 inductive construction."""
+    group_a = list(range(1, size_a + 1))
+    group_b = list(range(101, 101 + size_b))
+
+    solo_a = _solo_run(group_a, 1, patience, delta_a)
+    solo_b = _solo_run(group_b, 0, patience, delta_b)
+    duration_a = solo_a.time
+    duration_b = solo_b.time
+
+    # Δs strictly larger than every Δ and both execution durations.
+    delta_s = max(delta_a, delta_b, duration_a, duration_b) + 1.0
+
+    class EmbeddingScheduler(PartitionScheduler):
+        """Within-group: the solo bounds; cross-group: exactly Δs."""
+
+        def __init__(self):
+            super().__init__([group_a, group_b], within=0.0, cross=delta_s)
+
+        def delay(self, sender, recipient, time, kind):
+            ga = sender in set(group_a) and recipient in set(group_a)
+            gb = sender in set(group_b) and recipient in set(group_b)
+            if ga:
+                return delta_a
+            if gb:
+                return delta_b
+            return delta_s
+
+    engine = AsyncEngine(EmbeddingScheduler())
+    for node_id in group_a:
+        engine.add_node(node_id, WaitAndMajority(1, patience))
+    for node_id in group_b:
+        engine.add_node(node_id, WaitAndMajority(0, patience))
+    engine.run()  # run to quiescence: every message respects delta_s
+
+    decisions = engine.outputs()
+    values = set(decisions.values())
+    indistinguishable = all(
+        _log_prefix(engine.node(nid).log) == _log_prefix(solo_a.node(nid).log)
+        for nid in group_a
+    ) and all(
+        _log_prefix(engine.node(nid).log) == _log_prefix(solo_b.node(nid).log)
+        for nid in group_b
+    )
+    return SemiSyncEmbeddingResult(
+        delta_a=delta_a,
+        delta_b=delta_b,
+        delta_s=delta_s,
+        duration_a=duration_a,
+        duration_b=duration_b,
+        decisions=decisions,
+        disagreement=len(values) > 1,
+        indistinguishable=indistinguishable,
+        bound_respected=True,  # by construction: delays are Δa/Δb/Δs <= Δs
+    )
+
+
+@dataclass
+class ProbabilisticResult:
+    """Outcome of the probabilistic reading of Lemma 9.1."""
+
+    runs: int
+    partition_probability: float
+    disagreements: int
+
+    @property
+    def disagreement_rate(self) -> float:
+        return self.disagreements / self.runs if self.runs else 0.0
+
+
+def estimate_disagreement_probability(
+    partition_probability: float = 0.3,
+    runs: int = 50,
+    size_a: int = 4,
+    size_b: int = 4,
+    patience: float = 10.0,
+    seed: int = 0,
+) -> ProbabilisticResult:
+    """The lemma's probabilistic phrasing, measured.
+
+    "The nodes ... decide on different values with a non-zero
+    probability": if nature produces the partition schedule with
+    probability q (and benign delays otherwise), any delay-oblivious
+    algorithm disagrees with probability >= q.  Each run draws one coin;
+    partitioned runs use the Lemma 9.1 schedule, benign runs a uniform
+    one.  The measured disagreement rate must track q — there is no
+    algorithmic mitigation to discover.
+    """
+    import random
+
+    rng = random.Random(seed)
+    disagreements = 0
+    for _ in range(runs):
+        partitioned = rng.random() < partition_probability
+        group_a = list(range(1, size_a + 1))
+        group_b = list(range(101, 101 + size_b))
+        if partitioned:
+            scheduler = PartitionScheduler(
+                [group_a, group_b], within=1.0, cross=patience * 1000
+            )
+        else:
+            scheduler = UniformScheduler(1.0)
+        engine = AsyncEngine(scheduler)
+        for node_id in group_a:
+            engine.add_node(node_id, WaitAndMajority(1, patience))
+        for node_id in group_b:
+            engine.add_node(node_id, WaitAndMajority(0, patience))
+        engine.run(until=patience * 100)
+        values = set(engine.outputs().values())
+        if len(values) > 1:
+            disagreements += 1
+    return ProbabilisticResult(
+        runs=runs,
+        partition_probability=partition_probability,
+        disagreements=disagreements,
+    )
+
+
+def _log_prefix(log: list[tuple]) -> list[tuple]:
+    """A node's observable history up to and including its decision.
+
+    In the composed run, cross-group messages arrive *after* the decision
+    — the lemma only needs indistinguishability up to that point.
+    """
+    for index, entry in enumerate(log):
+        if entry[0] == "decide":
+            return log[: index + 1]
+    return log

@@ -1,0 +1,119 @@
+"""The impossibility victim: wait-then-majority consensus.
+
+Without knowing ``n`` (how many opinions exist) or ``f`` (how many may
+lie), and without a round structure, the only generic strategy is: shout
+your value, listen for a while, then decide something based on what you
+heard.  :class:`WaitAndMajority` is that strategy, parameterized by its
+patience; relayed gossip (each node rebroadcasts first-heard values) makes
+it as robust as the model allows.
+
+The §9 lemmas say *every* algorithm of this kind — indeed every algorithm
+at all — fails under some delay assignment.  The experiments in
+:mod:`repro.asyncsim.impossibility` demonstrate the failure on this one.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable
+
+from repro.asyncsim.engine import AsyncContext, AsyncMessage, AsyncNode
+from repro.types import NodeId
+
+KIND_VALUE = "value"
+KIND_RELAY = "relay"
+TIMER_DECIDE = "decide"
+
+
+class WaitAndMajority(AsyncNode):
+    """Broadcast the input, wait ``patience`` time units, decide the
+    majority of the values heard (own value included; ties break low).
+
+    ``patience`` is the node's stand-in for the unknown ``Δ`` — the whole
+    point of Lemma 9.2 is that no finite patience can be safe when the
+    delay bound is unknown.
+    """
+
+    def __init__(self, input_value: int, patience: float = 10.0):
+        super().__init__()
+        self.input_value = input_value
+        self.patience = patience
+        self._heard: dict[NodeId, Hashable] = {}
+
+    def on_start(self, ctx: AsyncContext) -> None:
+        self._heard[ctx.node_id] = self.input_value
+        ctx.broadcast(KIND_VALUE, self.input_value)
+        ctx.set_timer(self.patience, TIMER_DECIDE)
+
+    def on_message(self, ctx: AsyncContext, message: AsyncMessage) -> None:
+        if self.decided:
+            return
+        if message.kind == KIND_VALUE:
+            origin, value = message.sender, message.payload
+        elif message.kind == KIND_RELAY and isinstance(
+            message.payload, tuple
+        ):
+            origin, value = message.payload
+        else:
+            return
+        if origin not in self._heard:
+            self._heard[origin] = value
+            # Gossip first-heard values onward: relaying makes the
+            # victim as strong as the model allows (each node forwards
+            # each origin at most once, so traffic stays bounded) — and
+            # the §9 lemmas still win.
+            ctx.broadcast(KIND_RELAY, (origin, value))
+
+    def on_timer(self, ctx: AsyncContext, tag: Hashable) -> None:
+        if tag != TIMER_DECIDE or self.decided:
+            return
+        counts = Counter(self._heard.values())
+        top = max(counts.values())
+        winner = min(
+            (value for value, count in counts.items() if count == top),
+            key=repr,
+        )
+        self.decide(ctx, winner)
+
+
+class StabilityDetector(WaitAndMajority):
+    """A smarter victim: decide only once the heard-set looks *stable*.
+
+    Instead of a fixed patience, wait until no new participant has been
+    heard from for ``quiet_period`` time units — an adaptive scheme a
+    careful engineer might try in place of a hard timeout.  It fails the
+    same way: a partitioned group looks exactly like a stable complete
+    system, which is the entire content of Lemma 9.1.  (With a delay
+    bound Δ, quiet_period > Δ *would* suffice — if you knew Δ, which is
+    the semi-synchronous lemma's point.)
+    """
+
+    TIMER_QUIET = "quiet"
+
+    def __init__(self, input_value: int, quiet_period: float = 5.0):
+        super().__init__(input_value, patience=float("inf"))
+        self.quiet_period = quiet_period
+        self._epoch = 0
+
+    def on_start(self, ctx: AsyncContext) -> None:
+        self._heard[ctx.node_id] = self.input_value
+        ctx.broadcast(KIND_VALUE, self.input_value)
+        self._arm(ctx)
+
+    def _arm(self, ctx: AsyncContext) -> None:
+        self._epoch += 1
+        ctx.set_timer(self.quiet_period, (self.TIMER_QUIET, self._epoch))
+
+    def on_message(self, ctx: AsyncContext, message: AsyncMessage) -> None:
+        before = len(self._heard)
+        super().on_message(ctx, message)
+        if len(self._heard) > before and not self.decided:
+            self._arm(ctx)  # somebody new: restart the quiet window
+
+    def on_timer(self, ctx: AsyncContext, tag: Hashable) -> None:
+        if self.decided or not isinstance(tag, tuple):
+            return
+        kind, epoch = tag
+        if kind != self.TIMER_QUIET or epoch != self._epoch:
+            return  # superseded by a later arming
+        super().on_timer(ctx, TIMER_DECIDE)

@@ -1,0 +1,71 @@
+"""Delay schedulers — the adversary of the non-synchronous models.
+
+A scheduler assigns each message its delivery delay.  The impossibility
+arguments need exactly two shapes: arbitrary per-link delays (async) and
+group-partitioned delays (the indistinguishability constructions).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.asyncsim.engine import Scheduler
+from repro.types import NodeId
+
+
+class UniformScheduler(Scheduler):
+    """Every message takes exactly ``delay`` time units."""
+
+    def __init__(self, delay: float = 1.0):
+        self._delay = delay
+
+    def delay(
+        self, sender: NodeId, recipient: NodeId, time: float, kind: str
+    ) -> float:
+        return self._delay
+
+
+class JitterScheduler(Scheduler):
+    """Delays drawn uniformly from ``[low, high]`` (seeded)."""
+
+    def __init__(self, low: float = 0.5, high: float = 1.5, seed: int = 0):
+        if low > high:
+            raise ValueError("low must not exceed high")
+        self._low = low
+        self._high = high
+        self._rng = random.Random(seed)
+
+    def delay(
+        self, sender: NodeId, recipient: NodeId, time: float, kind: str
+    ) -> float:
+        return self._rng.uniform(self._low, self._high)
+
+
+class PartitionScheduler(Scheduler):
+    """Fast within groups, (arbitrarily) slow across them.
+
+    This is the adversary of both §9 lemmas: within-group messages take
+    ``within``, cross-group messages take ``cross``.  With ``cross``
+    larger than every node's decision time, each group's execution is
+    indistinguishable from a run in which the other group does not exist.
+    """
+
+    def __init__(
+        self,
+        groups: Iterable[Iterable[NodeId]],
+        within: float = 1.0,
+        cross: float = 10**6,
+    ):
+        self._group_of: dict[NodeId, int] = {}
+        for index, group in enumerate(groups):
+            for node in group:
+                self._group_of[node] = index
+        self.within = within
+        self.cross = cross
+
+    def delay(
+        self, sender: NodeId, recipient: NodeId, time: float, kind: str
+    ) -> float:
+        same = self._group_of.get(sender) == self._group_of.get(recipient)
+        return self.within if same else self.cross

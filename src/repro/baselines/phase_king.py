@@ -1,0 +1,91 @@
+"""Berman–Garay–Perry *phase king* consensus (known ``n, f``).
+
+The classical ``O(f)``-phase binary consensus the paper's consensus
+algorithms descend from.  It leans on exactly the knowledge the id-only
+model denies: the full member list (to pick the phase-``p`` king by rank)
+and the failure bound ``f`` (to run precisely ``f + 1`` phases and to use
+absolute thresholds ``f + 1`` / ``n - f``).
+
+Phase layout (4 rounds):
+
+1. broadcast ``value(x)``;
+2. count values; when the majority value has at least ``n - f`` backers,
+   broadcast ``proposal(majority)``;
+3. count proposals; more than ``f`` backers means at least one correct
+   backer — adopt the value.  The phase's king broadcasts its (updated)
+   value;
+4. receive the king's value; nodes whose round-3 proposal count was below
+   ``n - f`` adopt it.  After phase ``f + 1``, decide.
+"""
+
+from __future__ import annotations
+
+from repro.sim.inbox import Inbox
+from repro.sim.node import NodeApi, Protocol
+from repro.types import NodeId
+
+KIND_VALUE = "value"
+KIND_PROPOSAL = "proposal"
+KIND_KING = "king"
+
+ROUNDS_PER_PHASE = 4
+
+
+class PhaseKingConsensus(Protocol):
+    """One node's phase-king execution.
+
+    Args:
+        input_value: binary input.
+        members: the full, globally known member list.
+        f: the failure bound; the protocol runs ``f + 1`` phases.
+    """
+
+    def __init__(self, input_value: int, members: list[NodeId], f: int):
+        super().__init__()
+        if input_value not in (0, 1):
+            raise ValueError("phase king needs binary input")
+        n = len(members)
+        if not n > 3 * f:
+            raise ValueError(f"n={n}, f={f} violates n > 3f")
+        self.x = input_value
+        self.members = sorted(members)
+        self.n = n
+        self.f = f
+        self._proposal_count = 0
+
+    def king_of(self, phase: int) -> NodeId:
+        """The globally agreed king of *phase* (1-based)."""
+        return self.members[(phase - 1) % len(self.members)]
+
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        phase = (api.round - 1) // ROUNDS_PER_PHASE + 1
+        phase_round = (api.round - 1) % ROUNDS_PER_PHASE + 1
+
+        if phase_round == 1:
+            api.broadcast(KIND_VALUE, self.x)
+        elif phase_round == 2:
+            zeros = inbox.count(KIND_VALUE, payload=0)
+            ones = inbox.count(KIND_VALUE, payload=1)
+            majority = 0 if zeros >= ones else 1
+            if max(zeros, ones) >= self.n - self.f:
+                api.broadcast(KIND_PROPOSAL, majority)
+        elif phase_round == 3:
+            value, count = inbox.best_payload(KIND_PROPOSAL)
+            self._proposal_count = count
+            if count > self.f and value in (0, 1):
+                self.x = value
+            if self.king_of(phase) == api.node_id:
+                api.broadcast(KIND_KING, self.x)
+                api.emit("king-broadcast", phase=phase, value=self.x)
+        else:  # phase_round == 4
+            king = self.king_of(phase)
+            for msg in inbox.from_sender(king).filter(KIND_KING):
+                if self._proposal_count < self.n - self.f and msg.payload in (
+                    0,
+                    1,
+                ):
+                    self.x = msg.payload
+                    api.emit("adopt-king", phase=phase, value=self.x)
+                break
+            if phase == self.f + 1:
+                self.decide(api, self.x)

@@ -1,0 +1,57 @@
+"""The trivial known-``f`` rotating coordinator.
+
+With a globally known member list and failure bound, selecting ``f + 1``
+coordinators is a one-liner: rotate through the ``f + 1`` smallest ids,
+one per round.  No messages are needed for the selection itself — only
+the coordinator's opinion broadcast.  This is the baseline that makes the
+cost of the paper's rotor-coordinator (Algorithm 2) visible: the id-only
+model has to *reconstruct* the member list with echo quorums before it
+can rotate at all.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.sim.inbox import Inbox
+from repro.sim.node import NodeApi, Protocol
+from repro.types import NodeId, Round
+
+KIND_OPINION = "opinion"
+
+
+class KnownFRotatingCoordinator(Protocol):
+    """Rotate through the ``f + 1`` smallest member ids, one per round.
+
+    Terminates after ``f + 1`` rounds, by which point at least one
+    round's coordinator was correct.  The accepted opinions land one
+    round after each coordinator's turn.
+    """
+
+    def __init__(self, opinion: Hashable, members: list[NodeId], f: int):
+        super().__init__()
+        n = len(members)
+        if not n > 3 * f:
+            raise ValueError(f"n={n}, f={f} violates n > 3f")
+        self.opinion = opinion
+        self.coordinators = sorted(members)[: f + 1]
+        self.f = f
+        self.accepted_opinions: list[tuple[Round, NodeId, Hashable]] = []
+
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        # Collect the opinion of the previous round's coordinator.
+        if 2 <= api.round <= self.f + 2:
+            previous = self.coordinators[api.round - 2]
+            for msg in inbox.from_sender(previous).filter(KIND_OPINION):
+                self.accepted_opinions.append(
+                    (api.round, previous, msg.payload)
+                )
+                api.emit(
+                    "accept-opinion", coordinator=previous, opinion=msg.payload
+                )
+                break
+        if api.round <= self.f + 1:
+            if self.coordinators[api.round - 1] == api.node_id:
+                api.broadcast(KIND_OPINION, self.opinion)
+        if api.round == self.f + 2:
+            self.decide(api, None)

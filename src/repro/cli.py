@@ -1,0 +1,307 @@
+"""Command-line interface: ``repro`` (or ``python -m repro``).
+
+Three subcommands:
+
+* ``repro run <protocol>`` — one seeded run of any core protocol against
+  a chosen adversary, with the outcome and metrics printed;
+* ``repro sweep <protocol>`` — a resiliency sweep over ``f`` for a fixed
+  population, printing the success-rate table;
+* ``repro demo impossibility`` — the §9 partition/embedding experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Hashable
+
+from repro.adversary import STRATEGY_BUILDERS, build_strategy
+from repro.analysis.checkers import check_agreement
+from repro.analysis.report import format_table
+from repro.analysis.sweep import sweep
+from repro.asyncsim import run_async_partition, run_semisync_embedding
+from repro.core import (
+    ApproximateAgreement,
+    BinaryKingConsensus,
+    ByzantineRenaming,
+    EarlyConsensus,
+    InteractiveConsistency,
+    ParallelConsensus,
+    ReliableBroadcast,
+    RotorCoordinator,
+    TerminatingReliableBroadcast,
+)
+from repro.sim.runner import Scenario, run_scenario
+
+PROTOCOLS = (
+    "consensus",
+    "binary-consensus",
+    "rotor",
+    "approx",
+    "renaming",
+    "parallel",
+    "interactive-consistency",
+    "trb",
+)
+
+
+def _protocol_factory(name: str):
+    """(node_id, index) -> protocol, with index-derived inputs."""
+    if name == "consensus":
+        return lambda nid, i: EarlyConsensus(i % 2)
+    if name == "binary-consensus":
+        return lambda nid, i: BinaryKingConsensus(i % 2)
+    if name == "rotor":
+        return lambda nid, i: RotorCoordinator(opinion=i)
+    if name == "approx":
+        return lambda nid, i: ApproximateAgreement(float(i))
+    if name == "renaming":
+        return lambda nid, i: ByzantineRenaming()
+    if name == "parallel":
+        return lambda nid, i: ParallelConsensus({"k": i % 2})
+    if name == "interactive-consistency":
+        return lambda nid, i: InteractiveConsistency(i)
+    if name == "trb":
+        # index 0's node acts as the designated sender; the factory is
+        # called in index order so the first call fixes the sender id.
+        sender: list = []
+
+        def build(nid, i):
+            if i == 0:
+                sender.append(nid)
+            return TerminatingReliableBroadcast(
+                sender[0], "payload" if i == 0 else None
+            )
+
+        return build
+    raise SystemExit(f"unknown protocol {name!r}; choose from {PROTOCOLS}")
+
+
+def _wrapped_factory(name: str):
+    """Zero-arg honest-protocol factory for wrapping strategies."""
+    inner = _protocol_factory(name)
+    return lambda: inner(0, 0)
+
+
+def _build_scenario(args, f_override: int | None = None, seed: int = 0):
+    byzantine = args.f if f_override is None else f_override
+    strategy = None
+    if byzantine:
+        strategy = build_strategy(
+            args.adversary, protocol_factory=_wrapped_factory(args.protocol)
+        )
+    return Scenario(
+        correct=args.n - byzantine,
+        byzantine=byzantine,
+        protocol_factory=_protocol_factory(args.protocol),
+        strategy_factory=strategy,
+        seed=seed,
+        rushing=args.rushing,
+        max_rounds=args.max_rounds,
+        until_all_halted=args.protocol not in ("reliable-broadcast",),
+        enforce_resiliency=not args.force,
+    )
+
+
+def cmd_run(args) -> int:
+    result = run_scenario(_build_scenario(args, seed=args.seed))
+    print(f"protocol : {args.protocol}")
+    print(f"n={args.n} f={args.f} adversary={args.adversary} seed={args.seed}")
+    print(f"rounds   : {result.rounds}")
+    print(f"messages : {result.metrics.sends_total}")
+    print(f"outputs  : {result.outputs}")
+    report = check_agreement(result)
+    print(f"agreement: {'OK' if report.ok else report.violations}")
+    if args.timeline:
+        from repro.analysis.timeline import render_timeline
+
+        print()
+        print(render_timeline(result.trace, result.correct_ids))
+    return 0 if report.ok else 1
+
+
+def cmd_sweep(args) -> int:
+    def build(point: Hashable, seed: int):
+        return _build_scenario(args, f_override=point, seed=seed)
+
+    outcome = sweep(
+        points=range(0, args.max_f + 1),
+        build=build,
+        judge=lambda r: check_agreement(r).ok,
+        seeds=range(args.seeds),
+    )
+    for row in outcome.rows:
+        row["f"] = row.pop("point")
+        row["n>3f"] = "yes" if args.n > 3 * row["f"] else "no"
+    print(
+        format_table(
+            outcome.rows,
+            columns=["f", "n>3f", "ok%", "rounds(mean)", "msgs(mean)"],
+            title=f"{args.protocol}, n={args.n}, adversary={args.adversary}",
+        )
+    )
+    return 0
+
+
+def cmd_matrix(args) -> int:
+    """Run every registered adversary against one protocol."""
+    rows = []
+    for name in STRATEGY_BUILDERS:
+        agreed = 0
+        rounds = []
+        for seed in range(args.seeds):
+            scenario = Scenario(
+                correct=args.n - args.f,
+                byzantine=args.f,
+                protocol_factory=_protocol_factory(args.protocol),
+                strategy_factory=build_strategy(
+                    name, protocol_factory=_wrapped_factory(args.protocol)
+                ),
+                seed=seed,
+                rushing=True,
+                max_rounds=args.max_rounds,
+            )
+            try:
+                result = run_scenario(scenario)
+            except Exception:
+                rounds.append(args.max_rounds)
+                continue
+            agreed += check_agreement(result).ok
+            rounds.append(result.rounds)
+        rows.append(
+            {
+                "adversary": name,
+                "ok%": round(100 * agreed / args.seeds, 1),
+                "rounds(max)": max(rounds),
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=f"{args.protocol}: adversary matrix, n={args.n} "
+            f"f={args.f}, rushing",
+        )
+    )
+    return 0 if all(r["ok%"] == 100.0 for r in rows) else 1
+
+
+def cmd_record(args) -> int:
+    from repro.sim.replay import RunRecording, record_scenario, verify_replay
+
+    scenario = _build_scenario(args, seed=args.seed)
+    if args.verify:
+        recording = RunRecording.load(args.verify)
+        differences = verify_replay(scenario, recording)
+        if differences:
+            print("REPLAY MISMATCH:")
+            for difference in differences:
+                print(f"  {difference}")
+            return 1
+        print(
+            f"replay of {args.verify} matches: "
+            f"{len(recording.deliveries)} deliveries, "
+            f"{recording.rounds} rounds, outputs identical"
+        )
+        return 0
+    result, recording = record_scenario(scenario)
+    recording.save(args.out)
+    print(f"recorded {len(recording.deliveries)} deliveries over "
+          f"{result.rounds} rounds -> {args.out}")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    if args.what == "impossibility":
+        r = run_async_partition()
+        print("Lemma 9.1 (asynchronous partition):")
+        print(f"  decisions        : {r.decisions}")
+        print(f"  disagreement     : {r.disagreement}")
+        print(f"  indistinguishable: {r.indistinguishable}")
+        s = run_semisync_embedding()
+        print("Lemma 9.2 (semi-synchronous embedding):")
+        print(f"  delta_a={s.delta_a} delta_b={s.delta_b} delta_s={s.delta_s}")
+        print(f"  decisions        : {s.decisions}")
+        print(f"  disagreement     : {s.disagreement}")
+        print(f"  indistinguishable: {s.indistinguishable}")
+        return 0
+    raise SystemExit(f"unknown demo {args.what!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Byzantine agreement with unknown participants and failures "
+            "(PODC 2020) — simulation toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("protocol", choices=PROTOCOLS)
+        p.add_argument("--n", type=int, default=10, help="total nodes")
+        p.add_argument("--f", type=int, default=3, help="Byzantine nodes")
+        p.add_argument(
+            "--adversary",
+            default="silent",
+            choices=STRATEGY_BUILDERS,
+        )
+        p.add_argument("--rushing", action="store_true")
+        p.add_argument("--max-rounds", type=int, default=500)
+        p.add_argument(
+            "--force",
+            action="store_true",
+            help="allow configurations violating n > 3f",
+        )
+
+    run_p = sub.add_parser("run", help="one seeded run")
+    common(run_p)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print the round-by-round event timeline",
+    )
+    run_p.set_defaults(func=cmd_run)
+
+    sweep_p = sub.add_parser("sweep", help="resiliency sweep over f")
+    common(sweep_p)
+    sweep_p.add_argument("--max-f", type=int, default=4)
+    sweep_p.add_argument("--seeds", type=int, default=10)
+    sweep_p.set_defaults(func=cmd_sweep, force=True)
+
+    matrix_p = sub.add_parser(
+        "matrix", help="every adversary against one protocol"
+    )
+    common(matrix_p)
+    matrix_p.add_argument("--seeds", type=int, default=3)
+    matrix_p.set_defaults(func=cmd_matrix)
+
+    record_p = sub.add_parser(
+        "record", help="record a run to JSONL, or verify one"
+    )
+    common(record_p)
+    record_p.add_argument("--seed", type=int, default=0)
+    record_p.add_argument(
+        "--out", default="run.jsonl", help="recording output path"
+    )
+    record_p.add_argument(
+        "--verify",
+        default=None,
+        help="verify a prior recording instead of writing one",
+    )
+    record_p.set_defaults(func=cmd_record)
+
+    demo_p = sub.add_parser("demo", help="canned demonstrations")
+    demo_p.add_argument("what", choices=["impossibility"])
+    demo_p.set_defaults(func=cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""Approximate agreement in the id-only model (Algorithm 4).
+
+Each correct node inputs a real number and outputs a real number such that
+(1) every output lies within the range of correct inputs, and (2) the
+output range is strictly smaller than the input range — the paper's
+algorithm halves it.  The classical algorithm (Dolev et al.) discards the
+``f`` smallest and largest received values; here ``f`` is unknown, so each
+node discards ``⌊n_v/3⌋`` from each end, where ``n_v`` is the number of
+values it received.  Lemma aaWithin: ``⌊n_v/3⌋ >= f_v`` for ``n > 3f``, so
+all Byzantine values can be trimmed; Lemma aaMed: fewer than half the
+correct values are trimmed from either side, so the correct median always
+survives, which forces the halving.
+
+Three shapes:
+
+* :func:`trim_and_midpoint` — the pure one-shot computation;
+* :class:`ApproximateAgreement` — the paper's single-round protocol;
+* :class:`IteratedApproximateAgreement` — repeats the round to drive the
+  range below a target width; also the dynamic-network variant (§11): it
+  recomputes ``R_v`` from scratch each round, so nodes may join or leave
+  between iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.inbox import Inbox
+from repro.sim.node import NodeApi, Protocol
+from repro.types import NodeId
+
+KIND_VALUE = "value"
+
+
+def trim_and_midpoint(values: Sequence[float]) -> float:
+    """Discard ``⌊n/3⌋`` smallest and largest values, return the midpoint
+    of the survivors' extremes.
+
+    Raises ValueError on an empty input (a correct node always receives at
+    least its own value).
+    """
+    if not values:
+        raise ValueError("cannot agree on zero values")
+    ordered = sorted(values)
+    trim = len(ordered) // 3
+    survivors = ordered[trim: len(ordered) - trim]
+    if not survivors:  # pragma: no cover - len//3 < len/2 guarantees some
+        survivors = [ordered[len(ordered) // 2]]
+    return (survivors[0] + survivors[-1]) / 2
+
+
+def _one_value_per_sender(inbox: Inbox) -> list[float]:
+    """Collapse the inbox to one value per sender.
+
+    A Byzantine node may send several distinct values to the same node in
+    one round; the set ``R_v`` of Algorithm 4 holds one value per sender
+    (``n_v = |R_v|`` equals the number of senders).  We keep the smallest,
+    deterministically — any fixed choice is within the adversary's power
+    anyway.
+    """
+    per_sender: dict[NodeId, float] = {}
+    for message in inbox.filter(KIND_VALUE):
+        value = message.payload
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue  # ignore garbage payloads outright
+        if message.sender not in per_sender or value < per_sender[message.sender]:
+            per_sender[message.sender] = value
+    return list(per_sender.values())
+
+
+class ApproximateAgreement(Protocol):
+    """The paper's single-round approximate agreement."""
+
+    def __init__(self, input_value: float):
+        super().__init__()
+        self.input_value = float(input_value)
+
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        if api.round == 1:
+            api.broadcast(KIND_VALUE, self.input_value)
+            return
+        values = _one_value_per_sender(inbox)
+        output = trim_and_midpoint(values)
+        api.emit("approx-output", output=output, n_v=len(values))
+        self.decide(api, output)
+
+
+class ContinuousApproximateAgreement(Protocol):
+    """The dynamic-network variant of §11: never-ending estimation.
+
+    Each round the node broadcasts its current estimate and replaces it
+    with the trimmed midpoint of the values received.  Participants may
+    join (starting from their own input) and leave every round, subject
+    to ``n > 3f`` per round; Lemmas aaWithin/aaMed apply round-wise, so
+    the range of *current* correct estimates halves relative to the
+    previous round — but, as the paper notes, a joiner with an outlying
+    input can widen it again.  The protocol never halts; read
+    :attr:`estimate` (and :attr:`history`) whenever the scenario ends.
+    """
+
+    def __init__(self, input_value: float):
+        super().__init__()
+        self.estimate = float(input_value)
+        self.history: list[float] = []
+
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        if api.round > 1 or inbox:
+            values = _one_value_per_sender(inbox)
+            if values:
+                self.estimate = trim_and_midpoint(values)
+        self.history.append(self.estimate)
+        api.broadcast(KIND_VALUE, self.estimate)
+        api.emit("approx-estimate", estimate=self.estimate)
+
+
+class IteratedApproximateAgreement(Protocol):
+    """Run the Algorithm-4 round repeatedly.
+
+    Each iteration broadcasts the current estimate and replaces it with
+    the trimmed midpoint of that round's received values.  Because every
+    round recomputes the received set from scratch, this is exactly the
+    protocol the paper applies to dynamic networks: participants may join
+    or leave between rounds, subject to ``n > 3f`` holding per round.
+
+    Args:
+        input_value: the initial estimate.
+        iterations: how many halving rounds to run.
+
+    Attributes:
+        estimates: the estimate after each completed iteration (for
+            measuring per-round convergence).
+    """
+
+    def __init__(self, input_value: float, iterations: int = 10):
+        super().__init__()
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.estimate = float(input_value)
+        self.iterations = iterations
+        self.estimates: list[float] = []
+
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        if api.round > 1:
+            values = _one_value_per_sender(inbox)
+            if values:
+                self.estimate = trim_and_midpoint(values)
+            self.estimates.append(self.estimate)
+            api.emit("approx-iterate", estimate=self.estimate)
+            if len(self.estimates) >= self.iterations:
+                self.decide(api, self.estimate)
+                return
+        api.broadcast(KIND_VALUE, self.estimate)

@@ -1,0 +1,132 @@
+"""Binary king-style consensus (appendix extension X3).
+
+The appendix's Algorithm ``con`` is the direct unknown-``n, f``
+generalization of the Berman–Garay–Perry *king* algorithm: binary inputs,
+4-message phases (``input`` → ``support`` → rotor → switch), and
+termination driven by the rotor-coordinator's own stopping rule rather
+than by an early-termination quorum.  It decides in ``O(n)`` rounds
+(``O(f)`` belongs to Algorithm 3); it is implemented here because it is
+the historically canonical construction and serves as the in-model
+comparison point for the phase-king baseline.
+
+Phase layout (5 simulator rounds):
+
+1. broadcast ``input(x_v)``;
+2. count inputs; on a ``2n_v/3`` quorum broadcast ``support(x)``;
+3. count supports; on ``n_v/3`` adopt ``x``; stash the counts;
+4. one rotor step (the selected coordinator broadcasts its opinion);
+5. receive the coordinator's opinion ``c``; if the stashed support count
+   was below ``2n_v/3``, adopt ``c``.
+
+The node outputs its opinion at the end of the phase in which the rotor
+reports a repeated selection.  Because rotor termination is not perfectly
+simultaneous across nodes, the same missing-message substitution rule as
+Algorithm 3 applies: once a counted node goes silent, its message is
+filled in with this node's own most recent message of the expected kind.
+(The appendix text predates that rule but needs it for the same reason
+Algorithm 3 does — an early terminator must not starve the stragglers'
+quorums.)
+"""
+
+from __future__ import annotations
+
+from repro.core.quorum import (
+    ViewTracker,
+    at_least_third,
+    at_least_two_thirds,
+)
+from repro.core.rotor import RotorCore
+from repro.sim.inbox import Inbox
+from repro.sim.message import Message
+from repro.sim.node import NodeApi, Protocol
+from repro.types import NodeId
+
+KIND_INPUT = "input"
+KIND_SUPPORT = "support"
+
+PHASE_LENGTH = 5
+INIT_ROUNDS = 2
+
+
+class BinaryKingConsensus(Protocol):
+    """One node's binary king-consensus execution."""
+
+    def __init__(self, input_value: int):
+        super().__init__()
+        if input_value not in (0, 1):
+            raise ValueError("binary consensus needs input 0 or 1")
+        self.x = input_value
+        self.rotor = RotorCore()
+        self.tracker = ViewTracker()
+        self.membership: frozenset[NodeId] = frozenset()
+        self.n_v = 0
+        self.phase = 0
+        self._stashed_support: tuple[object, int] = (None, 0)
+        self._coordinator: NodeId | None = None
+        self._rotor_done = False
+        self._last_sent: dict[str, object] = {}
+        self._phase_live: frozenset[NodeId] = frozenset()
+
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        if api.round == 1:
+            self.rotor.announce(api)
+            return
+        if api.round == 2:
+            self.tracker.observe(inbox)
+            self.membership = self.tracker.freeze()
+            self.n_v = len(self.membership)
+            self.rotor.echo_inits(api, inbox)
+            return
+
+        inbox = Inbox(m for m in inbox if m.sender in self.membership)
+        self.rotor.absorb(inbox)
+        phase_round = (api.round - INIT_ROUNDS - 1) % PHASE_LENGTH + 1
+        if phase_round == 1:
+            self.phase += 1
+            api.broadcast(KIND_INPUT, self.x)
+            self._last_sent[KIND_INPUT] = self.x
+        elif phase_round == 2:
+            self._phase_live = frozenset(inbox.senders(KIND_INPUT))
+            value, count = self._best(inbox, KIND_INPUT)
+            self._last_sent.pop(KIND_SUPPORT, None)
+            if at_least_two_thirds(count, self.n_v):
+                api.broadcast(KIND_SUPPORT, value)
+                self._last_sent[KIND_SUPPORT] = value
+        elif phase_round == 3:
+            self._stashed_support = self._best(inbox, KIND_SUPPORT)
+            value, count = self._stashed_support
+            if at_least_third(count, self.n_v):
+                self.x = value
+        elif phase_round == 4:
+            step = self.rotor.step(api, self.n_v, self.x, allow_repeat=True)
+            self._coordinator = step.coordinator
+            if step.repeat:
+                self._rotor_done = True
+        else:  # phase_round == 5
+            opinion = self.rotor.opinion_from(inbox, self._coordinator)
+            _value, count = self._stashed_support
+            if not at_least_two_thirds(count, self.n_v):
+                if opinion is not None:
+                    self.x = opinion
+                    api.emit("adopt-king", phase=self.phase, value=opinion)
+            if self._rotor_done:
+                self.decide(api, self.x)
+
+    def _best(self, inbox: Inbox, kind: str) -> tuple[object, int]:
+        """Most-supported payload after the substitution rule.
+
+        As in Algorithm 3, fills only apply to members that look
+        terminated: silent this round and absent from this phase's
+        (unconditional) input broadcast.
+        """
+        counting_inbox = inbox
+        if kind in self._last_sent:
+            silent = self.membership - inbox.senders()
+            if kind != KIND_INPUT:
+                silent -= self._phase_live
+            phantom = self._last_sent[kind]
+            counting_inbox = inbox.merged_with(
+                Message(sender=node, kind=kind, payload=phantom)
+                for node in silent
+            )
+        return counting_inbox.best_payload(kind)

@@ -1,0 +1,225 @@
+"""Early-terminating consensus in the id-only model (Algorithm 3).
+
+Every correct node inputs a value (the paper allows reals — anything
+hashable and comparable works here); all correct nodes must output a common
+value, equal to the common input when inputs are unanimous.  Theorem 7.5:
+``O(f)`` rounds for ``n > 3f``, without knowing ``n`` or ``f``.
+
+Structure: 2 initialization rounds, then 5-round *phases*:
+
+=====  =============================================================
+phase
+round  action
+=====  =============================================================
+1      broadcast ``input(x_v)``
+2      count inputs; on a ``2n_v/3`` quorum broadcast ``prefer(x)``
+3      count prefers; on ``n_v/3`` adopt ``x``; on ``2n_v/3``
+       broadcast ``strongprefer(x)``
+4      stash strongprefer counts; execute one rotor step (the selected
+       coordinator broadcasts its opinion)
+5      receive the coordinator's opinion ``c``; if the stashed
+       strongprefer count is below ``n_v/3`` adopt ``c``; if it
+       reached ``2n_v/3`` terminate with ``x``
+=====  =============================================================
+
+Two rules from the paper's Algorithm-3 caption are load-bearing and easy
+to miss:
+
+* **Frozen membership** — ``n_v`` is fixed after initialization; messages
+  from nodes outside the initial view are discarded.
+* **Substitution** — once a counted node goes silent (it terminated
+  early), the local node substitutes *its own* most recent message of the
+  expected kind for the missing one.  Without this, early termination of
+  one node can strand the rest; the ``substitution`` flag exists so the
+  ablation benchmark can demonstrate that.
+
+  Silence must mean *terminated*, not merely *saw no quorum*: a live node
+  legitimately skips ``prefer``/``strongprefer`` when no quorum formed,
+  and substituting for it would manufacture conflicting quorums (we
+  observed real agreement violations before pinning this down).  Because
+  every live node broadcasts ``input`` unconditionally at phase-round 1,
+  "did not send this phase's input" is the precise liveness test: the
+  prefer/strongprefer substitutions only apply to members outside the
+  current phase's input senders.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.quorum import (
+    ViewTracker,
+    at_least_third,
+    at_least_two_thirds,
+)
+from repro.core.rotor import RotorCore
+from repro.sim.inbox import Inbox
+from repro.sim.message import Message
+from repro.sim.node import NodeApi, Protocol
+from repro.types import NodeId
+
+KIND_INPUT = "input"
+KIND_PREFER = "prefer"
+KIND_STRONGPREFER = "strongprefer"
+
+#: Rounds per phase.
+PHASE_LENGTH = 5
+#: Initialization rounds before the first phase.
+INIT_ROUNDS = 2
+
+
+class EarlyConsensus(Protocol):
+    """One node's early-terminating consensus execution.
+
+    Args:
+        input_value: this node's input ``x_v``.
+        substitution: apply the caption's missing-message substitution
+            rule (disable only for the ablation experiment).
+
+    Attributes:
+        x: the node's current opinion.
+        membership: the frozen post-initialization view.
+        phase: the current phase number (1-based).
+    """
+
+    def __init__(self, input_value: Hashable, substitution: bool = True):
+        super().__init__()
+        self.x: Hashable = input_value
+        self.substitution = substitution
+        self.rotor = RotorCore()
+        self.tracker = ViewTracker()
+        self.membership: frozenset[NodeId] = frozenset()
+        self.n_v: int = 0
+        self.phase: int = 0
+        self._last_sent: dict[str, Hashable] = {}
+        self._stashed_strong: tuple[Hashable, int] = (None, 0)
+        self._current_coordinator: NodeId | None = None
+        #: Members that broadcast input this phase — the live ones.
+        self._phase_live: frozenset[NodeId] = frozenset()
+
+    # ------------------------------------------------------------------
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        if api.round == 1:
+            self.rotor.announce(api)
+            return
+        if api.round == 2:
+            # Freeze the membership view: everyone heard from during
+            # initialization, including ourselves (own broadcasts are
+            # self-delivered).
+            self.tracker.observe(inbox)
+            self.membership = self.tracker.freeze()
+            self.n_v = len(self.membership)
+            self.rotor.echo_inits(api, inbox)
+            return
+
+        inbox = self._restricted(inbox)
+        self.rotor.absorb(inbox)
+        phase_round = (api.round - INIT_ROUNDS - 1) % PHASE_LENGTH + 1
+        if phase_round == 1:
+            self.phase += 1
+            self._broadcast_input(api)
+        elif phase_round == 2:
+            self._count_inputs(api, inbox)
+        elif phase_round == 3:
+            self._count_prefers(api, inbox)
+        elif phase_round == 4:
+            self._rotor_round(api, inbox)
+        else:
+            self._resolve(api, inbox)
+
+    # ------------------------------------------------------------------
+    # Phase rounds
+    # ------------------------------------------------------------------
+    def _broadcast_input(self, api: NodeApi) -> None:
+        api.broadcast(KIND_INPUT, self.x)
+        self._last_sent[KIND_INPUT] = self.x
+
+    def _count_inputs(self, api: NodeApi, inbox: Inbox) -> None:
+        # Every live node broadcasts input at phase-round 1; anyone who
+        # did not is presumed terminated and becomes eligible for the
+        # substitution rule for the rest of the phase.
+        self._phase_live = frozenset(inbox.senders(KIND_INPUT))
+        value, count = self._best(inbox, KIND_INPUT)
+        self._last_sent.pop(KIND_PREFER, None)
+        if at_least_two_thirds(count, self.n_v):
+            api.broadcast(KIND_PREFER, value)
+            self._last_sent[KIND_PREFER] = value
+        else:
+            self._no_preference(api)
+
+    def _count_prefers(self, api: NodeApi, inbox: Inbox) -> None:
+        value, count = self._best(inbox, KIND_PREFER)
+        if at_least_third(count, self.n_v):
+            self.x = value
+            api.emit("adopt-prefer", value=value, count=count)
+        self._last_sent.pop(KIND_STRONGPREFER, None)
+        if at_least_two_thirds(count, self.n_v):
+            api.broadcast(KIND_STRONGPREFER, value)
+            self._last_sent[KIND_STRONGPREFER] = value
+        else:
+            self._no_strong_preference(api)
+
+    def _rotor_round(self, api: NodeApi, inbox: Inbox) -> None:
+        self._stashed_strong = self._best(inbox, KIND_STRONGPREFER)
+        step = self.rotor.step(api, self.n_v, self.x, allow_repeat=True)
+        self._current_coordinator = step.coordinator
+        api.emit(
+            "phase-coordinator",
+            phase=self.phase,
+            coordinator=step.coordinator,
+        )
+
+    def _resolve(self, api: NodeApi, inbox: Inbox) -> None:
+        coordinator_opinion = self.rotor.opinion_from(
+            inbox, self._current_coordinator
+        )
+        value, count = self._stashed_strong
+        if not at_least_third(count, self.n_v):
+            if coordinator_opinion is not None:
+                self.x = coordinator_opinion
+                api.emit(
+                    "adopt-coordinator",
+                    phase=self.phase,
+                    value=coordinator_opinion,
+                )
+        if at_least_two_thirds(count, self.n_v):
+            api.emit("consensus-decide", phase=self.phase, value=value)
+            self.decide(api, value)
+
+    # ------------------------------------------------------------------
+    # Hooks for the parallel-consensus subclass (Alg 5 sends explicit
+    # no-preference markers where Alg 3 stays silent).
+    # ------------------------------------------------------------------
+    def _no_preference(self, api: NodeApi) -> None:
+        """Called when no prefer quorum formed.  Alg 3: send nothing."""
+
+    def _no_strong_preference(self, api: NodeApi) -> None:
+        """Called when no strongprefer quorum formed.  Alg 3: nothing."""
+
+    # ------------------------------------------------------------------
+    # Counting with frozen membership and the substitution rule
+    # ------------------------------------------------------------------
+    def _restricted(self, inbox: Inbox) -> Inbox:
+        """Discard messages from nodes outside the frozen view."""
+        return Inbox(m for m in inbox if m.sender in self.membership)
+
+    def _best(self, inbox: Inbox, kind: str) -> tuple[Hashable, int]:
+        """Most-supported payload of *kind*, after substitution.
+
+        The substitution rule fills in, for every counted node that
+        appears terminated (sent nothing this round, and — for the
+        prefer/strongprefer countings — did not broadcast this phase's
+        input either), the message this node itself most recently sent of
+        the expected kind (if any).
+        """
+        counting_inbox = inbox
+        if self.substitution and kind in self._last_sent:
+            silent = self.membership - inbox.senders()
+            if kind != KIND_INPUT:
+                silent -= self._phase_live
+            phantom = self._last_sent[kind]
+            counting_inbox = inbox.merged_with(
+                Message(sender=node, kind=kind, payload=phantom)
+                for node in silent
+            )
+        return counting_inbox.best_payload(kind)

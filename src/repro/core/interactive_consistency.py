@@ -1,0 +1,75 @@
+"""Interactive consistency in the id-only model (a §12 composition).
+
+Interactive consistency — every correct node outputs the same *vector*
+of per-node values, containing every correct node's actual input — is
+the classical workhorse behind state-machine replication.  The paper
+does not spell it out, but its discussion (§12) claims that algorithms
+composed from the discussed primitives "could be compiled to work
+without the knowledge of n and f".  This module is that compilation,
+exercised end-to-end:
+
+1. round 1: every node broadcasts its input (also announcing itself,
+   which doubles as the ``present`` round every protocol needs);
+2. each node collects the ``(sender, value)`` pairs it received and
+   feeds them into **parallel consensus** (Algorithm 5) as input pairs —
+   one instance per reporting node id;
+3. the agreed non-``⊥`` outputs form the vector.
+
+Why it is correct: a correct node ``w`` broadcasts one value, so every
+correct node inputs the identical pair ``(w, x_w)`` and parallel
+consensus *validity* forces it into every output.  A Byzantine node may
+equivocate, handing different correct nodes different pairs for its id;
+parallel consensus *agreement* still makes all correct nodes output the
+same pair for that id — or none at all.  Termination is Theorem 10.1's.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.parallel_consensus import ParallelConsensus
+from repro.sim.inbox import Inbox
+from repro.sim.node import NodeApi, Protocol
+from repro.types import NodeId
+
+KIND_REPORT = "report"
+
+
+class InteractiveConsistency(Protocol):
+    """One node's interactive-consistency execution.
+
+    The output is a sorted tuple of ``(node_id, value)`` pairs —
+    identical at every correct node and containing every correct node's
+    input.
+
+    Args:
+        input_value: this node's contribution to the vector.
+        linger_rounds: forwarded to the underlying parallel consensus.
+    """
+
+    def __init__(self, input_value: Hashable, linger_rounds: int = 0):
+        super().__init__()
+        self.input_value = input_value
+        self._parallel = ParallelConsensus(linger_rounds=linger_rounds)
+
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        if api.round == 1:
+            # The report doubles as the self-announcement: parallel
+            # consensus freezes its membership from round-2 senders.
+            api.broadcast(KIND_REPORT, self.input_value)
+        if api.round == 2:
+            for message in inbox.filter(KIND_REPORT):
+                self._parallel.submit(message.sender, message.payload)
+        self._parallel.on_round(api, inbox)
+        if self._parallel.halted and not self.halted:
+            self.output = self._parallel.output
+            self.halted = True
+            self.decided_round = api.round
+            api.emit("decide", value=self.output)
+
+    @property
+    def vector(self) -> dict[NodeId, Hashable] | None:
+        """The agreed vector as a dict, once decided."""
+        if not self.halted or self.output is None:
+            return None
+        return dict(self.output)

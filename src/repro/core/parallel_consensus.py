@@ -1,0 +1,548 @@
+"""Parallel consensus in the id-only model (Algorithm 5).
+
+Every correct node holds a set of ``(id, value)`` input pairs; for every
+id, the correct nodes must agree on one output pair (or agree to output
+nothing).  The twist: not every correct node knows every id, so nodes must
+be able to *join* a running instance mid-flight, and instances whose id no
+correct node input must die quietly (converge to ``⊥`` and output
+nothing).
+
+Per instance the protocol is Algorithm 3 with three additions:
+
+* messages are tagged with the instance id;
+* explicit ``nopreference`` / ``nostrongpreference`` markers distinguish a
+  live node that saw no quorum from a silent (terminated) node;
+* ``⊥`` back-fill on first hearing: a node that first hears
+  ``id:input`` / ``id:prefer`` / ``id:strongprefer`` during rounds 2/3/5
+  of the instance's first phase joins it, substituting ``m(⊥)`` for every
+  counted node that did not send a type-``m`` message; later sightings of
+  unknown ids are discarded.
+
+Two engineering completions beyond the paper's text (see DESIGN.md §4):
+
+* a ``noinput`` marker at phase-round 1 for nodes whose current opinion is
+  ``⊥`` (the paper has markers for the other two abstention points; the
+  symmetric marker makes the Algorithm-3 equivalence exact from phase 2
+  on, where otherwise a live ``⊥``-holder is indistinguishable from a
+  terminated node);
+* a phase cap of ``⌊n_v/2⌋ + 3`` per instance.  Legitimate (phase-aligned)
+  instances terminate within ``f + 2 <= ⌊n_v/2⌋ + 2`` phases; only
+  Byzantine-initiated instances whose first-hearing types were split
+  across rounds (a case outside the paper's proof) can run longer, they
+  can never produce an output at any correct node, and the cap retires
+  them with no output everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.quorum import (
+    ViewTracker,
+    at_least_third,
+    at_least_two_thirds,
+)
+from repro.core.rotor import CandidateSet, RotorCore, RotorCursor  # noqa: F401
+from repro.sim.inbox import Inbox
+from repro.sim.node import NodeApi, Protocol
+from repro.types import BOTTOM, NodeId, Round, is_bottom
+
+KIND_INPUT = "input"
+KIND_PREFER = "prefer"
+KIND_STRONGPREFER = "strongprefer"
+KIND_NOINPUT = "noinput"
+KIND_NOPREFERENCE = "nopreference"
+KIND_NOSTRONGPREFERENCE = "nostrongpreference"
+
+#: The paper's M: quorum-carrying message types.
+QUORUM_KINDS: frozenset[str] = frozenset(
+    {KIND_INPUT, KIND_PREFER, KIND_STRONGPREFER}
+)
+#: Marker sent when a quorum kind is abstained from.
+MARKER_FOR: dict[str, str] = {
+    KIND_INPUT: KIND_NOINPUT,
+    KIND_PREFER: KIND_NOPREFERENCE,
+    KIND_STRONGPREFER: KIND_NOSTRONGPREFERENCE,
+}
+
+PHASE_LENGTH = 5
+
+#: Sentinel meaning "this node's most recent action for the kind was the
+#: abstention marker" (used by the substitution rule).
+_ABSTAINED = object()
+
+
+@dataclass
+class InstanceResult:
+    """Terminal state of one consensus instance at one node."""
+
+    instance_id: Hashable
+    value: Hashable  # may be BOTTOM
+    round: Round
+
+    @property
+    def has_output(self) -> bool:
+        return not is_bottom(self.value)
+
+
+class ConsensusInstance:
+    """One ``EarlyConsensus(id)`` execution at one node.
+
+    Two wiring modes:
+
+    * ``own_init=False`` (Algorithm 5) — rotor initialization happened
+      once at protocol start; the caller passes the shared candidate set
+      into :meth:`on_round`.  ``start_round`` is the instance's first
+      phase round.
+    * ``own_init=True`` (Algorithm 6) — the instance spends its first two
+      rounds on its own (instance-tagged) ``init``/``echo`` exchange and
+      maintains its own candidate set; phases start two rounds after
+      ``start_round``.  This matches the paper's per-instance finality
+      budget of ``5f + 2`` rounds.
+    """
+
+    def __init__(
+        self,
+        instance_id: Hashable,
+        start_round: Round,
+        value: Hashable,
+        joined_via: str = "input-pair",
+        own_init: bool = False,
+    ):
+        self.instance_id = instance_id
+        self.start_round = start_round
+        self.x: Hashable = value
+        self.joined_via = joined_via
+        self.cursor = RotorCursor()
+        self.own_candidates = (
+            CandidateSet(instance=instance_id) if own_init else None
+        )
+        self.init_rounds = 2 if own_init else 0
+        self.terminated = False
+        self.result: InstanceResult | None = None
+        #: Most recent action per quorum kind: a payload, _ABSTAINED, or
+        #: absent when nothing of that kind was ever sent.
+        self._last_action: dict[str, Hashable] = {}
+        self._stashed_strong: tuple[Hashable, int] | None = None
+        self._coordinator: NodeId | None = None
+        #: True while the current phase is the one we joined in (the ⊥
+        #: back-fill applies to first-phase countings only).
+        self.join_phase_fill = True
+
+    # ------------------------------------------------------------------
+    def phase_round(self, round_no: Round) -> int:
+        rel = round_no - self.start_round - self.init_rounds
+        return rel % PHASE_LENGTH + 1
+
+    def phase(self, round_no: Round) -> int:
+        rel = round_no - self.start_round - self.init_rounds
+        return rel // PHASE_LENGTH + 1
+
+    # ------------------------------------------------------------------
+    def on_round(
+        self,
+        api: NodeApi,
+        tagged: Inbox,
+        membership: frozenset[NodeId],
+        n_v: int,
+        candidates: list[NodeId] | None,
+        phase_cap: int,
+    ) -> None:
+        """Advance the instance by one real round.
+
+        ``tagged`` holds only this instance's messages (already restricted
+        to the instance's membership); ``candidates`` is the shared rotor
+        candidate set (``own_init`` instances ignore it and use theirs).
+        """
+        if self.terminated:
+            return
+        if self.own_candidates is not None:
+            rel = api.round - self.start_round
+            if rel == 0:
+                self.own_candidates.announce(api)
+                return
+            if rel == 1:
+                self.own_candidates.echo_inits(api, tagged)
+                return
+            self.own_candidates.absorb(tagged)
+            self.own_candidates.evaluate(api, n_v, broadcast=True)
+            candidates = self.own_candidates.candidates
+        pr = self.phase_round(api.round)
+        if pr == 1:
+            phase = self.phase(api.round)
+            if phase > phase_cap:
+                self._terminate(api, BOTTOM)
+                return
+            if phase > 1:
+                # The ⊥ back-fill applies to first-phase countings only.
+                self.join_phase_fill = False
+            self._send_or_abstain(api, KIND_INPUT, self.x)
+        elif pr == 2:
+            value, count = self._count(tagged, KIND_INPUT, membership)
+            if at_least_two_thirds(count, n_v):
+                self._send_or_abstain(api, KIND_PREFER, value)
+            else:
+                self._abstain(api, KIND_PREFER)
+        elif pr == 3:
+            value, count = self._count(tagged, KIND_PREFER, membership)
+            if at_least_third(count, n_v):
+                self.x = value
+            if at_least_two_thirds(count, n_v):
+                self._send_or_abstain(api, KIND_STRONGPREFER, value)
+            else:
+                self._abstain(api, KIND_STRONGPREFER)
+        elif pr == 4:
+            self._stashed_strong = self._count(
+                tagged, KIND_STRONGPREFER, membership
+            )
+            step = self.cursor.select(
+                api,
+                candidates,
+                self.x,
+                instance=self.instance_id,
+                allow_repeat=True,
+            )
+            self._coordinator = step.coordinator
+        else:  # pr == 5
+            opinion = RotorCore.opinion_from(
+                tagged, self._coordinator, instance=self.instance_id
+            )
+            if self._stashed_strong is None:
+                # Joined via a first-phase strongprefer sighting: the
+                # stash round never ran; count this round's strongprefer
+                # messages with the join-phase ⊥ back-fill instead.
+                self._stashed_strong = self._count(
+                    tagged, KIND_STRONGPREFER, membership
+                )
+            value, count = self._stashed_strong
+            self._stashed_strong = None
+            if not at_least_third(count, n_v) and opinion is not None:
+                self.x = opinion
+            if at_least_two_thirds(count, n_v):
+                self._terminate(api, value)
+
+    # ------------------------------------------------------------------
+    def _terminate(self, api: NodeApi, value: Hashable) -> None:
+        self.terminated = True
+        self.result = InstanceResult(self.instance_id, value, api.round)
+        api.emit(
+            "instance-terminate",
+            instance=self.instance_id,
+            value=None if is_bottom(value) else value,
+            output=not is_bottom(value),
+        )
+
+    def _send_or_abstain(
+        self, api: NodeApi, kind: str, value: Hashable
+    ) -> None:
+        """Broadcast ``kind(value)``, or the abstention marker for ``⊥``.
+
+        Only ``input`` treats ``⊥`` as an abstention (Alg 5 broadcasts the
+        input only when ``x ≠ ⊥``); ``prefer(⊥)``/``strongprefer(⊥)`` are
+        legitimate votes for the "no output" outcome and go on the wire.
+        """
+        if kind == KIND_INPUT and is_bottom(value):
+            self._abstain(api, kind)
+            return
+        payload = None if is_bottom(value) else value
+        wire = payload if not is_bottom(value) else "__bottom__"
+        api.broadcast(kind, wire, instance=self.instance_id)
+        self._last_action[kind] = value
+
+    def _abstain(self, api: NodeApi, kind: str) -> None:
+        api.broadcast(MARKER_FOR[kind], instance=self.instance_id)
+        self._last_action[kind] = _ABSTAINED
+
+    # ------------------------------------------------------------------
+    def _count(
+        self, tagged: Inbox, kind: str, membership: frozenset[NodeId]
+    ) -> tuple[Hashable, int]:
+        """Count distinct supporters per value for one quorum kind.
+
+        Applies, in order: wire decoding (``"__bottom__"`` -> ``⊥``),
+        ``noinput`` markers as ``input(⊥)`` votes, the first-phase ``⊥``
+        back-fill, and the own-last-message substitution for silent
+        members.
+        """
+        votes: dict[Hashable, set[NodeId]] = {}
+
+        def vote(value: Hashable, sender: NodeId) -> None:
+            votes.setdefault(value, set()).add(sender)
+
+        for message in tagged.filter(kind):
+            vote(self._decode(message.payload), message.sender)
+        if kind == KIND_INPUT:
+            for sender in tagged.senders(KIND_NOINPUT):
+                vote(BOTTOM, sender)
+
+        heard_from = tagged.senders()  # any tagged message this round
+        missing = membership - heard_from
+        if self.join_phase_fill:
+            # First-phase rule: substitute kind(⊥) for every counted node
+            # that sent no type-`kind` message.
+            typed = tagged.senders(kind) | (
+                tagged.senders(KIND_NOINPUT) if kind == KIND_INPUT else set()
+            )
+            for sender in membership - typed:
+                vote(BOTTOM, sender)
+        elif kind in self._last_action:
+            # Subsequent rounds: silent members mirror our own most
+            # recent action of this kind.
+            own = self._last_action[kind]
+            if own is not _ABSTAINED:
+                for sender in missing:
+                    vote(own, sender)
+
+        if not votes:
+            return None, 0
+        value, supporters = max(
+            votes.items(), key=lambda item: (len(item[1]), repr(item[0]))
+        )
+        return value, len(supporters)
+
+    @staticmethod
+    def _decode(payload: Hashable) -> Hashable:
+        return BOTTOM if payload == "__bottom__" else payload
+
+
+class ParallelConsensusMachine:
+    """The Algorithm-5 engine, decoupled from the Protocol lifecycle.
+
+    One machine = one rotor initialization + any number of consensus
+    instances sharing it.  :class:`ParallelConsensus` wraps one machine as
+    a standalone protocol; total ordering (Algorithm 6) runs one machine
+    per network round, namespaced by ``base_tag``.
+
+    Args:
+        start_round: the (global) round of the machine's ``init``
+            broadcast; phases of the initial batch begin two rounds later.
+        membership: fixed membership (total ordering passes its recorded
+            ``S``); None means "freeze whoever speaks during
+            initialization" (the static Algorithm-5 rule).
+        base_tag: wire namespace.  None tags inner instances with their
+            bare id (static use); otherwise instances are tagged
+            ``(base_tag, id)`` and init traffic with ``base_tag``.
+    """
+
+    def __init__(
+        self,
+        start_round: Round,
+        membership: frozenset[NodeId] | None = None,
+        base_tag: Hashable = None,
+    ):
+        self.start_round = start_round
+        self.membership = membership
+        self.n_v = len(membership) if membership is not None else 0
+        self.base_tag = base_tag
+        self.tracker = ViewTracker()
+        self.candidate_set = CandidateSet(instance=base_tag)
+        self.instances: dict[Hashable, ConsensusInstance] = {}
+        self._pending: dict[Hashable, Hashable] = {}
+        self._results: dict[Hashable, InstanceResult] = {}
+        self._started_batch = False
+
+    # -- namespacing ------------------------------------------------------
+    def _wire_tag(self, inner_id: Hashable) -> Hashable:
+        if self.base_tag is None:
+            return inner_id
+        return (self.base_tag, inner_id)
+
+    def _inner_id(self, wire_tag: Hashable) -> Hashable | None:
+        """Reverse of :meth:`_wire_tag`; None when outside our namespace."""
+        if self.base_tag is None:
+            return wire_tag if wire_tag is not None else None
+        if (
+            isinstance(wire_tag, tuple)
+            and len(wire_tag) == 2
+            and wire_tag[0] == self.base_tag
+        ):
+            return wire_tag[1]
+        return None
+
+    # -- inputs and results -----------------------------------------------
+    def submit(self, instance_id: Hashable, value: Hashable) -> None:
+        """Queue an input pair; its instance starts on the next round.
+
+        All correct nodes must submit a given id in the same round for
+        the instances to be phase-aligned.
+        """
+        self._pending[instance_id] = value
+
+    @property
+    def results(self) -> dict[Hashable, InstanceResult]:
+        """Terminal results so far (including ``⊥``/no-output ones)."""
+        return dict(self._results)
+
+    def output_pairs(self) -> tuple[tuple[Hashable, Hashable], ...]:
+        """The non-``⊥`` outputs, sorted by instance id."""
+        pairs = [
+            (r.instance_id, r.value)
+            for r in self._results.values()
+            if r.has_output
+        ]
+        return tuple(sorted(pairs, key=lambda p: repr(p[0])))
+
+    def idle(self) -> bool:
+        """True when no instance is running and none is queued."""
+        return not self.instances and not self._pending
+
+    def join_window_closed(self, round_no: Round) -> bool:
+        """True once the initial batch's first phase is fully over."""
+        return round_no > self.start_round + 2 + PHASE_LENGTH
+
+    @property
+    def phase_cap(self) -> int:
+        return self.n_v // 2 + 3
+
+    # -- round execution ----------------------------------------------------
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        rel = api.round - self.start_round
+        if rel < 0:
+            return
+        if rel == 0:
+            self.candidate_set.announce(api)
+            return
+        if rel == 1:
+            if self.membership is None:
+                self.tracker.observe(inbox)
+                self.membership = self.tracker.freeze()
+                self.n_v = len(self.membership)
+            self.candidate_set.echo_inits(
+                api, self._restrict(inbox)
+            )
+            return
+
+        inbox = self._restrict(inbox)
+        self.candidate_set.absorb(inbox)
+        self.candidate_set.evaluate(api, self.n_v, broadcast=True)
+
+        self._start_pending(api)
+        self._join_new_instances(api, inbox)
+        self._run_instances(api, inbox)
+
+    def _restrict(self, inbox: Inbox) -> Inbox:
+        """Only accept messages from the recorded membership."""
+        if self.membership is None:
+            return inbox
+        return Inbox(m for m in inbox if m.sender in self.membership)
+
+    # -- internals ----------------------------------------------------------
+    def _start_pending(self, api: NodeApi) -> None:
+        for instance_id, value in self._pending.items():
+            if instance_id in self.instances or instance_id in self._results:
+                continue
+            self.instances[instance_id] = ConsensusInstance(
+                self._wire_tag(instance_id), api.round, value
+            )
+            api.emit(
+                "instance-start", instance=self._wire_tag(instance_id)
+            )
+        self._pending.clear()
+
+    def _join_new_instances(self, api: NodeApi, inbox: Inbox) -> None:
+        """The first-hearing joining rules (Thm 10.1's case analysis).
+
+        ``input`` heard at what must be phase-round 2 -> start was last
+        round; ``prefer`` -> phase-round 3; ``strongprefer`` ->
+        phase-round 4 (the paper says "fifth round", meaning the round
+        that *evaluates* strongprefer counts; the messages themselves,
+        sent at phase-round 3, land at phase-round 4 where the joiner
+        must stash them like everyone else).  Anything else about an
+        unknown id — coordinator opinions, second-phase traffic — is
+        discarded.
+        """
+        offsets = {KIND_INPUT: 1, KIND_PREFER: 2, KIND_STRONGPREFER: 3}
+        for message in inbox:
+            inner = self._inner_id(message.instance)
+            if inner is None:
+                continue
+            if inner in self.instances or inner in self._results:
+                continue
+            offset = offsets.get(message.kind)
+            if offset is None:
+                continue
+            start = api.round - offset
+            if start < self.start_round + 2:
+                continue  # would predate the machine itself
+            self.instances[inner] = ConsensusInstance(
+                self._wire_tag(inner),
+                start,
+                BOTTOM,
+                joined_via=message.kind,
+            )
+            api.emit(
+                "instance-join",
+                instance=self._wire_tag(inner),
+                via=message.kind,
+            )
+
+    def _run_instances(self, api: NodeApi, inbox: Inbox) -> None:
+        for inner in sorted(self.instances, key=repr):
+            instance = self.instances[inner]
+            tagged = inbox.filter(instance=self._wire_tag(inner))
+            instance.on_round(
+                api,
+                tagged,
+                self.membership,
+                self.n_v,
+                self.candidate_set.candidates,
+                self.phase_cap,
+            )
+            if instance.terminated:
+                result = instance.result
+                # Report results under the inner id, not the wire tag.
+                self._results[inner] = InstanceResult(
+                    inner, result.value, result.round
+                )
+        for inner in list(self.instances):
+            if self.instances[inner].terminated:
+                del self.instances[inner]
+
+
+class ParallelConsensus(Protocol):
+    """The full ParallelConsensus protocol of §10 as a standalone run.
+
+    Args:
+        inputs: this node's input pairs ``{id: value}``.
+        linger_rounds: extra rounds to stay alive after all known
+            instances have terminated (for runs where Byzantine nodes may
+            initiate instances late).
+
+    The node's output (``self.output`` once decided) is a sorted tuple of
+    ``(id, value)`` pairs — every instance that terminated with a non-``⊥``
+    value.
+    """
+
+    def __init__(
+        self,
+        inputs: dict[Hashable, Hashable] | None = None,
+        linger_rounds: int = 0,
+    ):
+        super().__init__()
+        self.inputs = dict(inputs or {})
+        self.linger_rounds = linger_rounds
+        self.machine = ParallelConsensusMachine(start_round=1)
+
+    @property
+    def results(self) -> dict[Hashable, InstanceResult]:
+        return self.machine.results
+
+    def output_pairs(self) -> tuple[tuple[Hashable, Hashable], ...]:
+        return self.machine.output_pairs()
+
+    def submit(self, instance_id: Hashable, value: Hashable) -> None:
+        self.machine.submit(instance_id, value)
+
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        if api.round == 2:
+            # The node's initial input pairs start in round 3.
+            for instance_id, value in self.inputs.items():
+                self.machine.submit(instance_id, value)
+        self.machine.on_round(api, inbox)
+        if (
+            self.machine.join_window_closed(api.round)
+            and api.round > 2 + PHASE_LENGTH + 2 + self.linger_rounds
+            and self.machine.idle()
+        ):
+            self.decide(api, self.output_pairs())

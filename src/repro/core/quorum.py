@@ -1,0 +1,137 @@
+"""Threshold arithmetic and the shared echo-voting machinery.
+
+The paper's conditions all have the shape "received at least ``n_v/3``
+(or ``2n_v/3``) messages" where ``n_v`` is the number of distinct nodes
+``v`` has ever heard from.  Thresholds are computed in exact integer
+arithmetic — ``3 * count >= n_v`` — never in floating point, so the
+boundary cases (``n_v`` not divisible by 3) match the paper's real-valued
+inequalities precisely.
+
+:class:`ViewTracker` maintains ``n_v``; :class:`EchoVoting` implements the
+per-tag echo/accept pattern of Algorithm 1 that reliable broadcast, the
+rotor-coordinator's candidate set, and Byzantine renaming all share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from repro.sim.inbox import Inbox
+from repro.types import NodeId, Round
+
+
+def at_least_third(count: int, n_v: int) -> bool:
+    """True when ``count >= n_v / 3`` with at least one real message.
+
+    The ``count > 0`` clause encodes "received" — zero messages never
+    satisfy a receive condition even when ``n_v`` is still zero.
+    """
+    return count > 0 and 3 * count >= n_v
+
+
+def at_least_two_thirds(count: int, n_v: int) -> bool:
+    """True when ``count >= 2 * n_v / 3`` with at least one real message."""
+    return count > 0 and 3 * count >= 2 * n_v
+
+
+def less_than_third(count: int, n_v: int) -> bool:
+    """True when ``count < n_v / 3`` (the coordinator-switch condition)."""
+    return not at_least_third(count, n_v)
+
+
+class ViewTracker:
+    """Tracks ``n_v``: the distinct nodes that ever sent us a message.
+
+    Protocols call :meth:`observe` on every inbox.  ``n_v`` grows
+    monotonically; :meth:`freeze` snapshots the membership for protocols
+    (consensus, parallel consensus) that fix their view after
+    initialization and discard messages from unknown senders thereafter.
+    """
+
+    def __init__(self) -> None:
+        self._senders: set[NodeId] = set()
+
+    def observe(self, inbox: Inbox) -> None:
+        self._senders.update(m.sender for m in inbox)
+
+    def observe_ids(self, ids: Iterable[NodeId]) -> None:
+        self._senders.update(ids)
+
+    @property
+    def n_v(self) -> int:
+        return len(self._senders)
+
+    @property
+    def senders(self) -> frozenset[NodeId]:
+        return frozenset(self._senders)
+
+    def knows(self, node: NodeId) -> bool:
+        return node in self._senders
+
+    def freeze(self) -> frozenset[NodeId]:
+        """Snapshot the current membership view."""
+        return frozenset(self._senders)
+
+
+@dataclass
+class EchoDecision:
+    """Result of one echo-voting evaluation round."""
+
+    #: Tags to (re-)echo this round: reached ``n_v/3`` but not yet accepted.
+    echo: list[Hashable] = field(default_factory=list)
+    #: Tags newly accepted this round: reached ``2n_v/3``.
+    newly_accepted: list[Hashable] = field(default_factory=list)
+
+
+class EchoVoting:
+    """Per-tag echo accumulation (the core of Algorithm 1).
+
+    Each *tag* is an independent reliable-broadcast payload: a message
+    ``(m, s)``, a candidate coordinator id, an identifier to rename.  Per
+    evaluation (one protocol round, or one embedded-rotor step):
+
+    * a tag with echoes from at least ``n_v/3`` distinct senders that is
+      not yet accepted must be echoed again (Alg 1 line ``echoBroad``);
+    * a tag reaching ``2n_v/3`` distinct senders is accepted
+      (line ``accept``).
+
+    Senders accumulate *between* evaluations (so a protocol that evaluates
+    every k-th round, like the rotor embedded in consensus, still sees all
+    echoes) and reset after each evaluation (matching the paper's per-round
+    counting, because correct nodes re-echo every round until acceptance).
+    """
+
+    def __init__(self) -> None:
+        self._pending: dict[Hashable, set[NodeId]] = {}
+        self.accepted: dict[Hashable, Round] = {}
+
+    def absorb(self, pairs: Iterable[tuple[NodeId, Hashable]]) -> None:
+        """Record (sender, tag) echo observations since the last evaluate."""
+        for sender, tag in pairs:
+            self._pending.setdefault(tag, set()).add(sender)
+
+    def absorb_inbox(self, inbox: Inbox, kind: str) -> None:
+        """Record all echoes of *kind* from an inbox (payload is the tag)."""
+        self.absorb((m.sender, m.payload) for m in inbox.filter(kind))
+
+    def evaluate(self, n_v: int, round_no: Round) -> EchoDecision:
+        """Apply both thresholds, clear the pending buffer, and report."""
+        decision = EchoDecision()
+        for tag, senders in self._pending.items():
+            if tag in self.accepted:
+                continue
+            count = len(senders)
+            if at_least_third(count, n_v):
+                decision.echo.append(tag)
+            if at_least_two_thirds(count, n_v):
+                decision.newly_accepted.append(tag)
+                self.accepted[tag] = round_no
+        self._pending.clear()
+        return decision
+
+    def is_accepted(self, tag: Hashable) -> bool:
+        return tag in self.accepted
+
+    def accepted_tags(self) -> list[Hashable]:
+        return list(self.accepted)

@@ -1,0 +1,103 @@
+"""Reliable broadcast in the id-only model (Algorithm 1).
+
+A designated node ``s`` broadcasts a message ``m``; the abstraction
+guarantees, for ``n > 3f``:
+
+* **Correctness** — if ``s`` is correct, every correct node accepts
+  ``(m, s)`` (in fact by round 3);
+* **Unforgeability** — if a correct node accepts ``(m, s)`` and ``s`` is
+  correct, then ``s`` really broadcast ``m``;
+* **Relay** — if a correct node accepts ``(m, s)`` in round ``r``, every
+  correct node accepts it by round ``r + 1``.
+
+The algorithm replaces Srikanth–Toueg's ``f + 1`` / ``n - f`` thresholds
+with ``n_v/3`` / ``2n_v/3`` where ``n_v`` counts the distinct nodes heard
+from so far — sound because every correct node announces itself
+(``present``) in round one.
+
+The protocol deliberately never terminates (the paper uses it as a
+subroutine inside protocols with their own termination); run it with
+``until_all_halted=False`` for a fixed number of rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.quorum import EchoVoting, ViewTracker
+from repro.sim.inbox import Inbox
+from repro.sim.node import NodeApi, Protocol
+from repro.types import NodeId, Round
+
+#: Message kinds used on the wire.
+KIND_MESSAGE = "msg"
+KIND_PRESENT = "present"
+KIND_ECHO = "echo"
+
+
+class ReliableBroadcast(Protocol):
+    """One reliable-broadcast slot for designated sender ``sender_id``.
+
+    ``message`` is the payload to broadcast when this node *is* the
+    designated sender; other nodes pass ``None``.
+
+    Multiple payloads can be tracked simultaneously (a Byzantine sender
+    may distribute several); each is an independent tag ``(m, s)``.
+
+    Attributes:
+        accepted: map of accepted ``(m, s)`` tags to acceptance round.
+    """
+
+    def __init__(self, sender_id: NodeId, message: Hashable = None):
+        super().__init__()
+        self.sender_id = sender_id
+        self.message = message
+        self.tracker = ViewTracker()
+        self.voting = EchoVoting()
+        self.accepted: dict[tuple[Hashable, NodeId], Round] = {}
+
+    # ------------------------------------------------------------------
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        self.tracker.observe(inbox)
+        if api.round == 1:
+            self._round_one(api)
+        elif api.round == 2:
+            self._round_two(api, inbox)
+        else:
+            self._relay_round(api, inbox)
+
+    # ------------------------------------------------------------------
+    def _round_one(self, api: NodeApi) -> None:
+        if api.node_id == self.sender_id:
+            api.broadcast(KIND_MESSAGE, self.message)
+            api.emit("rb-sent", message=self.message)
+        else:
+            api.broadcast(KIND_PRESENT)
+
+    def _round_two(self, api: NodeApi, inbox: Inbox) -> None:
+        # Echo each payload received *directly* from the designated sender.
+        for message in inbox.from_sender(self.sender_id).filter(KIND_MESSAGE):
+            tag = (message.payload, self.sender_id)
+            api.broadcast(KIND_ECHO, tag)
+            api.emit("rb-echo", tag=tag, origin="direct")
+
+    def _relay_round(self, api: NodeApi, inbox: Inbox) -> None:
+        n_v = self.tracker.n_v
+        self.voting.absorb_inbox(inbox, KIND_ECHO)
+        decision = self.voting.evaluate(n_v, api.round)
+        for tag in decision.echo:
+            api.broadcast(KIND_ECHO, tag)
+            api.emit("rb-echo", tag=tag, origin="threshold")
+        for tag in decision.newly_accepted:
+            self.accepted[tag] = api.round
+            api.emit("accept", tag=tag, n_v=n_v)
+
+    # ------------------------------------------------------------------
+    def has_accepted(self, message: Hashable = ...) -> bool:
+        """True when some tag (or the specific *message*) was accepted."""
+        if message is ...:
+            return bool(self.accepted)
+        return (message, self.sender_id) in self.accepted
+
+    def acceptance_round(self, message: Hashable) -> Round | None:
+        return self.accepted.get((message, self.sender_id))

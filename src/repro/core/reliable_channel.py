@@ -1,0 +1,114 @@
+"""Reliable broadcast channels: every node a sender, streams of slots.
+
+Algorithm 1 handles a single designated sender and a single message —
+the shape a *proof* wants.  A library consumer wants the induced
+abstraction: every node can reliably broadcast a *stream* of messages,
+each slot ``(origin, seq)`` independently enjoying correctness,
+unforgeability, and relay.  This module provides that by running one
+echo-voting instance per slot tag over a shared, live ``n_v`` view —
+the generalization is sound because the threshold lemmas only need
+``g <= n_v <= n``, which the round-one ``present`` storm establishes
+once for all slots, and ``n_v`` only grows.
+
+Acceptance latency is the same as Algorithm 1: a correct sender's slot
+is accepted everywhere two rounds after it is sent.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.quorum import EchoVoting, ViewTracker
+from repro.sim.inbox import Inbox
+from repro.sim.node import NodeApi, Protocol
+from repro.types import NodeId, Round
+
+KIND_PRESENT = "present"
+KIND_SLOT = "slot"
+KIND_ECHO = "echo"
+
+#: A slot tag on the wire: (origin, sequence number, payload).
+SlotTag = tuple[NodeId, int, Hashable]
+
+
+class ReliableChannel(Protocol):
+    """One node's endpoint of the everyone-to-everyone RB channel.
+
+    Call :meth:`send` at any time; the payload is broadcast on the
+    node's next round with the next sequence number.  Accepted slots
+    appear in :attr:`delivered` and via :meth:`stream_from`.
+
+    The protocol never halts (like Algorithm 1, termination belongs to
+    whatever is layered on top); run it for a fixed number of rounds.
+    """
+
+    def __init__(self, initial_messages: list[Hashable] | None = None):
+        super().__init__()
+        self.tracker = ViewTracker()
+        self.voting = EchoVoting()
+        self._outgoing: list[Hashable] = list(initial_messages or [])
+        self._next_seq = 0
+        #: (origin, seq) -> (payload, acceptance round)
+        self.delivered: dict[tuple[NodeId, int], tuple[Hashable, Round]] = {}
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def send(self, payload: Hashable) -> None:
+        """Queue a payload for reliable broadcast on the next round."""
+        self._outgoing.append(payload)
+
+    def stream_from(self, origin: NodeId) -> list[Hashable]:
+        """Accepted payloads from *origin*, in sequence order.
+
+        Stops at the first gap: a slot is only *stably ordered* once
+        every lower sequence number from the same origin has arrived.
+        """
+        slots = {
+            seq: payload
+            for (node, seq), (payload, _round) in self.delivered.items()
+            if node == origin
+        }
+        stream: list[Hashable] = []
+        seq = 0
+        while seq in slots:
+            stream.append(slots[seq])
+            seq += 1
+        return stream
+
+    # ------------------------------------------------------------------
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        self.tracker.observe(inbox)
+        if api.round == 1:
+            api.broadcast(KIND_PRESENT)
+
+        # Echo slots received directly from their origin (Alg 1 round 2).
+        for message in inbox.filter(KIND_SLOT):
+            payload = message.payload
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 2
+                and isinstance(payload[0], int)
+            ):
+                seq, body = payload
+                tag: SlotTag = (message.sender, seq, body)
+                api.broadcast(KIND_ECHO, tag)
+
+        # Threshold echoes and acceptance (Alg 1 rounds 3+), per tag.
+        self.voting.absorb(
+            (m.sender, m.payload)
+            for m in inbox.filter(KIND_ECHO)
+            if isinstance(m.payload, tuple) and len(m.payload) == 3
+        )
+        decision = self.voting.evaluate(self.tracker.n_v, api.round)
+        for tag in decision.echo:
+            api.broadcast(KIND_ECHO, tag)
+        for origin, seq, body in decision.newly_accepted:
+            self.delivered[(origin, seq)] = (body, api.round)
+            api.emit("channel-accept", origin=origin, seq=seq)
+
+        # Send queued payloads (one new slot per payload, all at once).
+        for payload in self._outgoing:
+            api.broadcast(KIND_SLOT, (self._next_seq, payload))
+            self._next_seq += 1
+        self._outgoing.clear()

@@ -1,0 +1,97 @@
+"""A replicated key-value store on top of total ordering.
+
+This is what a downstream user actually builds with Algorithm 6: a
+state machine replicated across a dynamic cluster.  Each replica submits
+operations (``set``/``delete``) as events; the total-ordering layer
+agrees on one operation sequence; every replica applies the finalized
+prefix to its local state.  Chain-prefix then *is* linearizable state
+agreement: any two replicas' stores are snapshots of the same history.
+
+The store inherits all of :class:`~repro.core.total_order.TotalOrderNode`
+— joins via the present/ack handshake, graceful leaves, tolerance of
+``f < n/3`` Byzantine replicas — and adds:
+
+* an operation queue (:meth:`submit_set` / :meth:`submit_delete`);
+* deterministic application of finalized operations;
+* read access to the replicated state (:meth:`get`, :attr:`state`).
+
+Operations are tuples ``("set", key, value)`` / ``("del", key)``; within
+one finalized round, operations apply in the chain's deterministic
+order, so concurrent writes to one key resolve identically everywhere.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.core.total_order import TotalOrderNode
+from repro.sim.inbox import Inbox
+from repro.sim.node import NodeApi
+
+
+class ReplicatedKVStore(TotalOrderNode):
+    """One replica of the totally-ordered key-value store.
+
+    Args:
+        seed: as for :class:`TotalOrderNode` (False for mid-run joiners).
+        leave_at: optional local round to retire at.
+    """
+
+    def __init__(self, seed: bool = True, leave_at: int | None = None):
+        super().__init__(
+            event_source=self._next_operation, seed=seed, leave_at=leave_at
+        )
+        self._op_queue: deque[tuple] = deque()
+        self._applied: int = 0
+        self.state: dict[Hashable, Hashable] = {}
+        #: Full applied history, for audits: (round, replica, op).
+        self.applied_log: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit_set(self, key: Hashable, value: Hashable) -> None:
+        """Queue a write; it is broadcast on this replica's next round."""
+        self._op_queue.append(("set", key, value))
+
+    def submit_delete(self, key: Hashable) -> None:
+        """Queue a deletion."""
+        self._op_queue.append(("del", key))
+
+    def get(self, key: Hashable, default: Hashable = None) -> Hashable:
+        """Read from the *finalized* replicated state."""
+        return self.state.get(key, default)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _next_operation(self, _local_round: int):
+        """Event source: one queued operation per round."""
+        if self._op_queue:
+            return self._op_queue.popleft()
+        return None
+
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        super().on_round(api, inbox)
+        self._apply_finalized(api)
+
+    def _apply_finalized(self, api: NodeApi) -> None:
+        while self._applied < len(self.chain):
+            round_no, replica, operation = self.chain[self._applied]
+            self._applied += 1
+            if not isinstance(operation, tuple) or not operation:
+                continue  # a Byzantine replica may submit garbage
+            if operation[0] == "set" and len(operation) == 3:
+                self.state[operation[1]] = operation[2]
+            elif operation[0] == "del" and len(operation) == 2:
+                self.state.pop(operation[1], None)
+            else:
+                continue
+            self.applied_log.append((round_no, replica, operation))
+            api.emit(
+                "kv-apply",
+                op=operation[0],
+                key=operation[1],
+                round_agreed=round_no,
+            )

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario or protocol was configured inconsistently.
+
+    Examples: duplicate node ids, a direct send to a node that never
+    contacted the sender, or an adversary count violating an explicit
+    resiliency request.
+    """
+
+
+class ProtocolViolation(ReproError):
+    """A *correct* protocol implementation broke a model rule.
+
+    The simulator enforces the id-only model's rules for correct nodes
+    (no sender forgery, direct sends only to prior contacts).  Byzantine
+    strategies are exempt where the model allows it.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation itself failed (e.g. exceeded its round budget)."""
+
+
+class RoundLimitExceeded(SimulationError):
+    """A protocol failed to terminate within the configured round budget."""
+
+    def __init__(self, limit: int, still_running: list[int]):
+        self.limit = limit
+        self.still_running = list(still_running)
+        super().__init__(
+            f"round limit {limit} exceeded; nodes still running: "
+            f"{sorted(self.still_running)}"
+        )
+
+
+class PropertyViolation(ReproError):
+    """A checked correctness property (agreement, validity, ...) failed.
+
+    Raised by :mod:`repro.analysis.checkers` when a run violates one of the
+    paper's guarantees.  Benchmarks and tests rely on this never firing for
+    ``n > 3f`` and on being able to provoke it for ``n <= 3f``.
+    """

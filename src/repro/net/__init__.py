@@ -1,0 +1,48 @@
+"""A real-network runtime for the same protocols.
+
+Everything in :mod:`repro.core` is written against the tiny
+:class:`~repro.sim.node.Protocol` / :class:`~repro.sim.node.NodeApi`
+interface.  This package provides a second implementation of that
+interface over actual TCP sockets, with lock-step rounds paced by a
+shared wall-clock period Δ — the textbook way to realise a synchronous
+round model on a network whose delays are bounded by Δ.
+
+The protocols run **unchanged**: a node still knows only its own id; the
+address book peers bootstrap from is transport-level plumbing (the
+moral equivalent of an IP broadcast domain), not protocol knowledge —
+``n`` never reaches the algorithm, and peers may be absent, silent, or
+Byzantine without any configuration change.
+
+Components:
+
+* :mod:`~repro.net.wire` — length-prefixed JSON framing with a faithful
+  payload codec (tuples, ``⊥``, and nested structures round-trip);
+* :mod:`~repro.net.peer` — a threaded TCP peer (server + outbound
+  connections + per-connection readers);
+* :mod:`~repro.net.runner` — the lock-step driver executing one
+  :class:`~repro.sim.node.Protocol` round per Δ tick;
+* :mod:`~repro.net.cluster` — convenience for spinning up a localhost
+  cluster in-process (used by the integration tests and examples).
+
+This runtime trades the simulator's determinism for reality: runs are
+timing-dependent, so experiments belong on :mod:`repro.sim`; the net
+runtime exists to demonstrate deployment-shaped operation.
+"""
+
+from repro.net.byzantine import ByzantineRunner
+from repro.net.cluster import LocalCluster
+from repro.net.peer import NetPeer, PeerAddress
+from repro.net.runner import LockstepRunner
+from repro.net.wire import decode_frame, decode_value, encode_frame, encode_value
+
+__all__ = [
+    "ByzantineRunner",
+    "LocalCluster",
+    "LockstepRunner",
+    "NetPeer",
+    "PeerAddress",
+    "decode_frame",
+    "decode_value",
+    "encode_frame",
+    "encode_value",
+]

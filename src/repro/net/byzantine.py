@@ -1,0 +1,110 @@
+"""Running Byzantine strategies over the TCP runtime.
+
+The simulator's adversaries work from an
+:class:`~repro.sim.network.AdversaryView`; this adapter builds an
+equivalent view from a peer's real inbox so the same strategy classes
+can attack a TCP cluster.  Two capabilities shrink on a real network:
+
+* omniscience — `all_nodes` is the transport address book rather than
+  true knowledge of the population (on a broadcast domain these
+  coincide);
+* rushing — real networks do not let a node read others' traffic before
+  sending; `correct_traffic` is always empty here.
+
+Both weaken the adversary, never the protocols, so TCP runs remain a
+fair (if softer) testbed; worst-case adversarial results belong to the
+simulator.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.net.peer import NetPeer
+from repro.sim.inbox import Inbox
+from repro.sim.message import BROADCAST, Message
+from repro.sim.network import AdversaryView
+from repro.types import NodeId
+
+
+class ByzantineRunner:
+    """Drives a :class:`~repro.adversary.ByzantineStrategy` over a peer."""
+
+    def __init__(
+        self,
+        peer: NetPeer,
+        strategy,
+        correct_ids: frozenset[NodeId],
+        period: float = 0.05,
+        max_rounds: int = 120,
+        seed: int = 0,
+    ):
+        import random
+
+        self.peer = peer
+        self.strategy = strategy
+        self.correct_ids = frozenset(correct_ids)
+        self.period = period
+        self.max_rounds = max_rounds
+        self.round = 0
+        self._rng = random.Random(seed)
+        self._thread: threading.Thread | None = None
+
+    def run(self, start_time: float) -> None:
+        while self.round < self.max_rounds:
+            self.round += 1
+            deadline = start_time + self.round * self.period
+            delay = deadline - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            self._execute_round()
+
+    def start(self, start_time: float) -> None:
+        self._thread = threading.Thread(
+            target=self.run,
+            args=(start_time,),
+            name=f"byz-runner-{self.peer.node_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def join(self, timeout: float | None = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def _execute_round(self) -> None:
+        frames = self.peer.take_round(self.round - 1)
+        inbox = Inbox(
+            Message(
+                sender=f["sender"],
+                kind=f["kind"],
+                payload=f["payload"],
+                instance=f["instance"],
+            )
+            for f in frames
+        )
+        all_nodes = frozenset(self.peer._peers)
+        view = AdversaryView(
+            node_id=self.peer.node_id,
+            round=self.round,
+            inbox=inbox,
+            all_nodes=all_nodes,
+            correct_nodes=self.correct_ids & all_nodes,
+            byzantine_nodes=all_nodes - self.correct_ids,
+            rng=self._rng,
+            correct_traffic=(),  # no rushing on a real network
+        )
+        for send in self.strategy.on_round(view):
+            if send.dest is BROADCAST:
+                self.peer.broadcast(
+                    self.round, send.kind, send.payload, send.instance
+                )
+            else:
+                self.peer.send_to(
+                    send.dest,
+                    self.round,
+                    send.kind,
+                    send.payload,
+                    send.instance,
+                )

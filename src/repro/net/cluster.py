@@ -1,0 +1,109 @@
+"""In-process localhost clusters for the net runtime.
+
+Spins up one :class:`~repro.net.peer.NetPeer` +
+:class:`~repro.net.runner.LockstepRunner` pair per node on ephemeral
+ports, shares the address book, aligns the start instant, and waits for
+the protocols to decide.  Used by the integration tests and the
+``net_cluster`` example; real deployments would run one peer per host
+with the same classes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.net.peer import NetPeer
+from repro.net.runner import LockstepRunner
+from repro.sim.node import Protocol
+from repro.sim.rng import make_rng, sparse_ids
+from repro.types import NodeId
+
+
+class LocalCluster:
+    """A localhost cluster of lock-step protocol runners.
+
+    With ``byzantine > 0`` and a ``strategy_factory``, the last
+    ``byzantine`` ids run simulator-style Byzantine strategies over TCP
+    via :class:`~repro.net.byzantine.ByzantineRunner` — the net
+    counterpart of :class:`repro.sim.runner.Scenario`.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        protocol_factory: Callable[[NodeId, int], Protocol],
+        period: float = 0.05,
+        max_rounds: int = 120,
+        seed: int = 0,
+        byzantine: int = 0,
+        strategy_factory: Callable[[NodeId, int], object] | None = None,
+    ):
+        from repro.errors import ConfigurationError
+        from repro.net.byzantine import ByzantineRunner
+
+        if byzantine and strategy_factory is None:
+            raise ConfigurationError(
+                "byzantine > 0 requires a strategy_factory"
+            )
+        rng = make_rng(seed)
+        self.node_ids = sparse_ids(count + byzantine, rng)
+        correct_ids = self.node_ids[:count]
+        byzantine_ids = self.node_ids[count:]
+        self.correct_ids = list(correct_ids)
+        self.byzantine_ids = list(byzantine_ids)
+        self.peers: dict[NodeId, NetPeer] = {}
+        self.runners: dict[NodeId, LockstepRunner] = {}
+        self.byzantine_runners: dict[NodeId, ByzantineRunner] = {}
+        self.protocols: dict[NodeId, Protocol] = {}
+        for index, node_id in enumerate(correct_ids):
+            peer = NetPeer(node_id)
+            protocol = protocol_factory(node_id, index)
+            self.peers[node_id] = peer
+            self.protocols[node_id] = protocol
+            self.runners[node_id] = LockstepRunner(
+                peer, protocol, period=period, max_rounds=max_rounds
+            )
+        for index, node_id in enumerate(byzantine_ids):
+            peer = NetPeer(node_id)
+            self.peers[node_id] = peer
+            self.byzantine_runners[node_id] = ByzantineRunner(
+                peer,
+                strategy_factory(node_id, index),
+                correct_ids=frozenset(correct_ids),
+                period=period,
+                max_rounds=max_rounds,
+                seed=seed + index,
+            )
+
+    def run(self, timeout: float = 30.0) -> dict[NodeId, object]:
+        """Start everyone, wait for decisions (or timeout), tear down."""
+        address_book = [peer.address for peer in self.peers.values()]
+        for peer in self.peers.values():
+            peer.start(address_book)
+        # A shared start instant comfortably in the future, so every
+        # runner begins round 1 together.
+        start = time.monotonic() + 0.2
+        for runner in self.runners.values():
+            runner.start(start)
+        for runner in self.byzantine_runners.values():
+            runner.start(start)
+        deadline = time.monotonic() + timeout
+        try:
+            while time.monotonic() < deadline:
+                if all(p.halted for p in self.protocols.values()):
+                    break
+                time.sleep(0.02)
+            return self.outputs()
+        finally:
+            for runner in self.runners.values():
+                runner.join(timeout=1.0)
+            for peer in self.peers.values():
+                peer.stop()
+
+    def outputs(self) -> dict[NodeId, object]:
+        return {
+            node_id: protocol.output
+            for node_id, protocol in self.protocols.items()
+            if protocol.halted
+        }

@@ -1,0 +1,105 @@
+"""The lock-step round driver.
+
+Realises the synchronous model on a network with delay bound well under
+the round period Δ: all runners share a start instant; round ``r``'s
+computation happens at ``start + r·Δ``, consuming the messages stamped
+``r - 1`` that arrived in the meantime.  The driven
+:class:`~repro.sim.node.Protocol` is exactly the class the simulator
+runs — none of the paper's algorithms know which runtime they are on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.net.peer import NetPeer
+from repro.sim.inbox import Inbox
+from repro.sim.message import BROADCAST, Message, Outbox
+from repro.sim.node import NodeApi, Protocol
+from repro.types import NodeId
+
+
+class LockstepRunner:
+    """Drives one protocol instance over one peer, one round per Δ."""
+
+    def __init__(
+        self,
+        peer: NetPeer,
+        protocol: Protocol,
+        period: float = 0.05,
+        max_rounds: int = 120,
+    ):
+        self.peer = peer
+        self.protocol = protocol
+        self.period = period
+        self.max_rounds = max_rounds
+        self.round = 0
+        self.contacts: set[NodeId] = set()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def run(self, start_time: float) -> None:
+        """Blocking round loop (call :meth:`start` for the threaded form)."""
+        while self.round < self.max_rounds and not self.protocol.halted:
+            self.round += 1
+            deadline = start_time + self.round * self.period
+            delay = deadline - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            self._execute_round()
+
+    def start(self, start_time: float) -> None:
+        self._thread = threading.Thread(
+            target=self.run,
+            args=(start_time,),
+            name=f"runner-{self.peer.node_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def join(self, timeout: float | None = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    def _execute_round(self) -> None:
+        frames = self.peer.take_round(self.round - 1)
+        messages = []
+        seen = set()
+        for frame in frames:
+            message = Message(
+                sender=frame["sender"],
+                kind=frame["kind"],
+                payload=frame["payload"],
+                instance=frame["instance"],
+            )
+            if message in seen:  # the model's per-round duplicate rule
+                continue
+            seen.add(message)
+            messages.append(message)
+        inbox = Inbox(messages)
+        self.contacts.update(m.sender for m in inbox)
+
+        outbox = Outbox()
+        api = NodeApi(
+            node_id=self.peer.node_id,
+            round_no=self.round,
+            known_contacts=frozenset(self.contacts),
+            outbox=outbox,
+            trace_sink=None,
+        )
+        self.protocol.on_round(api, inbox)
+        for send in outbox:
+            if send.dest is BROADCAST:
+                self.peer.broadcast(
+                    self.round, send.kind, send.payload, send.instance
+                )
+            else:
+                self.peer.send_to(
+                    send.dest,
+                    self.round,
+                    send.kind,
+                    send.payload,
+                    send.instance,
+                )

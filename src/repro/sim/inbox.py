@@ -1,0 +1,121 @@
+"""Per-round inbox with the quorum-counting helpers the paper's proofs use.
+
+Every count is a count of *distinct senders*: the model discards duplicate
+messages from the same sender within a round, and all threshold arguments
+("received at least ``n_v/3`` echo messages") quantify over senders.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Hashable, Iterable, Iterator
+
+from repro.sim.message import Message
+from repro.types import NodeId
+
+
+class Inbox:
+    """The set of messages a node received at the start of a round."""
+
+    def __init__(self, messages: Iterable[Message] = ()):
+        self._messages: tuple[Message, ...] = tuple(messages)
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self._messages)
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __bool__(self) -> bool:
+        return bool(self._messages)
+
+    def filter(
+        self,
+        kind: str | None = None,
+        payload: Any = ...,
+        instance: Any = ...,
+    ) -> "Inbox":
+        """Return a sub-inbox of the messages matching the filters."""
+        return Inbox(
+            m for m in self._messages if m.matches(kind, payload, instance)
+        )
+
+    def senders(
+        self,
+        kind: str | None = None,
+        payload: Any = ...,
+        instance: Any = ...,
+    ) -> set[NodeId]:
+        """Distinct senders of matching messages."""
+        return {
+            m.sender for m in self._messages if m.matches(kind, payload, instance)
+        }
+
+    def count(
+        self,
+        kind: str | None = None,
+        payload: Any = ...,
+        instance: Any = ...,
+    ) -> int:
+        """Number of distinct senders of matching messages."""
+        return len(self.senders(kind, payload, instance))
+
+    def payload_counts(
+        self, kind: str, instance: Any = ...
+    ) -> Counter:
+        """Map payload -> distinct sender count, for one message kind.
+
+        This is the primitive behind "if received at least ``2n_v/3``
+        ``input(x)`` for some value ``x``": take the max of the counter.
+        """
+        per_payload: dict[Hashable, set[NodeId]] = {}
+        for m in self._messages:
+            if m.matches(kind, instance=instance):
+                per_payload.setdefault(m.payload, set()).add(m.sender)
+        return Counter({p: len(s) for p, s in per_payload.items()})
+
+    def best_payload(
+        self, kind: str, instance: Any = ...
+    ) -> tuple[Hashable, int]:
+        """The payload with the most distinct senders and its count.
+
+        Ties break deterministically on the payload repr so that runs are
+        reproducible.  Returns ``(None, 0)`` when nothing matches.
+        """
+        counts = self.payload_counts(kind, instance=instance)
+        if not counts:
+            return None, 0
+        best = max(counts.items(), key=lambda item: (item[1], repr(item[0])))
+        return best
+
+    def from_sender(self, sender: NodeId) -> "Inbox":
+        """Messages received from one specific node."""
+        return Inbox(m for m in self._messages if m.sender == sender)
+
+    def received_from(
+        self,
+        sender: NodeId,
+        kind: str | None = None,
+        payload: Any = ...,
+        instance: Any = ...,
+    ) -> bool:
+        """True when *sender* sent a matching message this round."""
+        return any(
+            m.sender == sender and m.matches(kind, payload, instance)
+            for m in self._messages
+        )
+
+    def kinds(self, instance: Any = ...) -> set[str]:
+        """The set of message kinds present (optionally within an instance)."""
+        return {
+            m.kind for m in self._messages if m.matches(None, instance=instance)
+        }
+
+    def instances(self) -> set[Hashable]:
+        """The set of instance tags present (excluding untagged messages)."""
+        return {m.instance for m in self._messages if m.instance is not None}
+
+    def merged_with(self, extra: Iterable[Message]) -> "Inbox":
+        """A new inbox with *extra* messages appended (used for the paper's
+        missing-message substitution rule)."""
+        return Inbox((*self._messages, *extra))

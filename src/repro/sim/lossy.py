@@ -1,0 +1,65 @@
+"""A deliberately broken network: random message loss.
+
+The synchronous model's delivery guarantee is load-bearing — §9 proves
+agreement is *impossible* without it when ``n`` and ``f`` are unknown.
+:class:`LossyNetwork` makes that executable: it behaves like
+:class:`~repro.sim.network.SyncNetwork` but drops each staged delivery
+independently with probability ``drop_rate`` (seeded, reproducible).
+
+This is an *ablation instrument*, not a feature: protocols run on it to
+demonstrate how their guarantees erode as the synchrony assumption
+breaks (benchmark ``bench_ablations``/synchrony).  Nothing in
+``repro.core`` is expected to survive heavy loss, and that is the point.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.membership import MembershipSchedule
+from repro.sim.message import Send
+from repro.sim.network import SyncNetwork
+from repro.types import NodeId
+
+
+class LossyNetwork(SyncNetwork):
+    """SyncNetwork with i.i.d. per-delivery message loss."""
+
+    def __init__(
+        self,
+        drop_rate: float,
+        seed: int | None = 0,
+        rushing: bool = False,
+        membership: MembershipSchedule | None = None,
+    ):
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ValueError("drop_rate must be within [0, 1]")
+        super().__init__(seed=seed, rushing=rushing, membership=membership)
+        self.drop_rate = drop_rate
+        self._loss_rng = random.Random(
+            (0 if seed is None else seed) ^ 0x10552E55
+        )
+        self.dropped = 0
+
+    def _stage(self, sends: list[tuple[NodeId, Send]]) -> None:
+        # _stage runs more than once per round (correct nodes, then the
+        # Byzantine batch); each delivery must face the loss lottery
+        # exactly once, so only the entries this call appends are drawn.
+        before = {
+            node_id: len(state.pending)
+            for node_id, state in self._nodes.items()
+        }
+        super()._stage(sends)
+        if self.drop_rate == 0.0:
+            return
+        for node_id, state in self._nodes.items():
+            start = before.get(node_id, 0)
+            if len(state.pending) <= start:
+                continue
+            kept = state.pending[:start]
+            for entry in state.pending[start:]:
+                if self._loss_rng.random() < self.drop_rate:
+                    self.dropped += 1
+                else:
+                    kept.append(entry)
+            state.pending[:] = kept

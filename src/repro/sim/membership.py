@@ -1,0 +1,70 @@
+"""Dynamic membership schedules.
+
+The paper's dynamic model (§ Application to Dynamic Networks) lets the
+adversary decide, before each round, which nodes join — subject to
+``n > 3f`` holding when the round starts.  Correct nodes decide themselves
+when to leave (announcing ``absent``); the adversary decides when faulty
+nodes leave.  A :class:`MembershipSchedule` captures the adversary's side of
+that: scheduled joins and scheduled (forced) leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.types import NodeId, Round
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """One node joining the network at the start of *round*.
+
+    ``factory`` builds the node's behaviour: a
+    :class:`~repro.sim.node.Protocol` for a correct node, or a Byzantine
+    strategy when ``byzantine`` is True.
+    """
+
+    round: Round
+    node_id: NodeId
+    factory: Callable[[], Any]
+    byzantine: bool = False
+
+
+@dataclass(frozen=True)
+class LeaveSpec:
+    """A forced departure (adversary removing a faulty node, or a crash)."""
+
+    round: Round
+    node_id: NodeId
+
+
+@dataclass
+class MembershipSchedule:
+    """Scheduled joins and forced leaves for one run."""
+
+    joins: list[JoinSpec] = field(default_factory=list)
+    leaves: list[LeaveSpec] = field(default_factory=list)
+
+    def join(
+        self,
+        round_no: Round,
+        node_id: NodeId,
+        factory: Callable[[], Any],
+        byzantine: bool = False,
+    ) -> "MembershipSchedule":
+        self.joins.append(JoinSpec(round_no, node_id, factory, byzantine))
+        return self
+
+    def leave(self, round_no: Round, node_id: NodeId) -> "MembershipSchedule":
+        self.leaves.append(LeaveSpec(round_no, node_id))
+        return self
+
+    def joins_at(self, round_no: Round) -> list[JoinSpec]:
+        return [j for j in self.joins if j.round == round_no]
+
+    def leaves_at(self, round_no: Round) -> list[LeaveSpec]:
+        return [l for l in self.leaves if l.round == round_no]
+
+    def is_empty(self) -> bool:
+        return not self.joins and not self.leaves

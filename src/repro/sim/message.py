@@ -1,0 +1,102 @@
+"""Network messages.
+
+A message carries a *kind* (protocol-level tag such as ``"echo"``), an
+optional *payload*, and an optional *instance* namespace used when several
+protocol instances share the wire (parallel consensus tags messages with the
+round that started the instance).
+
+Messages must be hashable: the model discards duplicate messages from the
+same sender within a round, which the simulator implements with a set.  Use
+tuples/frozensets rather than lists/sets in payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.types import NodeId
+
+#: Sentinel destination meaning "broadcast to every participant".
+BROADCAST: object = object()
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """An immutable message as delivered to a recipient.
+
+    The ``sender`` field is stamped by the network, never by the sending
+    protocol, which is how the model guarantees that identifiers cannot be
+    forged in direct communication.
+    """
+
+    sender: NodeId
+    kind: str
+    payload: Hashable = None
+    instance: Hashable = None
+
+    def matches(
+        self,
+        kind: str | None = None,
+        payload: Any = ...,
+        instance: Any = ...,
+    ) -> bool:
+        """Return True when this message matches every given filter.
+
+        ``payload``/``instance`` use ``...`` (Ellipsis) as "don't care" so
+        that ``None`` remains a matchable value.
+        """
+        if kind is not None and self.kind != kind:
+            return False
+        if payload is not ... and self.payload != payload:
+            return False
+        if instance is not ... and self.instance != instance:
+            return False
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class Send:
+    """An outgoing message before the network stamps the sender.
+
+    ``dest`` is either a concrete :data:`~repro.types.NodeId` or the
+    :data:`BROADCAST` sentinel.
+    """
+
+    dest: Any
+    kind: str
+    payload: Hashable = None
+    instance: Hashable = None
+
+    def stamped(self, sender: NodeId) -> Message:
+        """Produce the wire message with the network-stamped sender id."""
+        return Message(
+            sender=sender, kind=self.kind, payload=self.payload, instance=self.instance
+        )
+
+
+@dataclass(slots=True)
+class Outbox:
+    """Collects a node's sends within one round."""
+
+    sends: list[Send] = field(default_factory=list)
+
+    def broadcast(
+        self, kind: str, payload: Hashable = None, instance: Hashable = None
+    ) -> None:
+        self.sends.append(Send(BROADCAST, kind, payload, instance))
+
+    def send(
+        self,
+        dest: NodeId,
+        kind: str,
+        payload: Hashable = None,
+        instance: Hashable = None,
+    ) -> None:
+        self.sends.append(Send(dest, kind, payload, instance))
+
+    def __len__(self) -> int:
+        return len(self.sends)
+
+    def __iter__(self):
+        return iter(self.sends)

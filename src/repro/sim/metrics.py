@@ -1,0 +1,66 @@
+"""Run metrics: rounds, logical sends, wire deliveries, per-kind counts.
+
+A *logical send* is one ``broadcast``/``send`` call; a *delivery* is one
+message landing in one inbox (a broadcast to ``k`` recipients is one send
+and ``k`` deliveries).  The paper's message-complexity discussion counts
+logical sends, so benchmarks report both.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.types import NodeId
+
+
+@dataclass
+class Metrics:
+    """Aggregated counters for one simulation run."""
+
+    rounds: int = 0
+    sends_total: int = 0
+    deliveries_total: int = 0
+    bytes_total: int = 0
+    sends_by_node: Counter = field(default_factory=Counter)
+    sends_by_kind: Counter = field(default_factory=Counter)
+    bytes_by_kind: Counter = field(default_factory=Counter)
+    sends_by_round: Counter = field(default_factory=Counter)
+    deliveries_by_round: Counter = field(default_factory=Counter)
+
+    def record_send(
+        self,
+        round_no: int,
+        sender: NodeId,
+        kind: str,
+        wire_bytes: int = 0,
+    ) -> None:
+        self.sends_total += 1
+        self.sends_by_node[sender] += 1
+        self.sends_by_kind[kind] += 1
+        self.sends_by_round[round_no] += 1
+        if wire_bytes:
+            self.bytes_total += wire_bytes
+            self.bytes_by_kind[kind] += wire_bytes
+
+    def record_delivery(self, round_no: int, count: int = 1) -> None:
+        self.deliveries_total += count
+        self.deliveries_by_round[round_no] += count
+
+    def record_round(self, round_no: int) -> None:
+        self.rounds = max(self.rounds, round_no)
+
+    @property
+    def sends_per_round(self) -> float:
+        """Average logical sends per executed round."""
+        return self.sends_total / self.rounds if self.rounds else 0.0
+
+    def summary(self) -> dict:
+        """A plain-dict summary suitable for reports and JSON dumps."""
+        return {
+            "rounds": self.rounds,
+            "sends_total": self.sends_total,
+            "deliveries_total": self.deliveries_total,
+            "sends_per_round": round(self.sends_per_round, 2),
+            "kinds": dict(self.sends_by_kind),
+        }

@@ -1,0 +1,323 @@
+"""The synchronous round engine.
+
+Executes the id-only model exactly:
+
+* lock-step rounds; messages sent in round ``r`` arrive at round ``r + 1``;
+* broadcasts reach every participant alive at delivery time (including the
+  sender — the paper's approximate agreement broadcasts "to all the nodes
+  (including self)");
+* a correct node may direct-send only to prior contacts; the engine stamps
+  sender ids so they cannot be forged;
+* duplicate messages from one sender within one round are discarded;
+* Byzantine actors run *after* the correct nodes each round and — in rushing
+  mode — see the correct nodes' current-round traffic before choosing their
+  own, the strongest adversary the model admits.
+
+The engine knows nothing about any particular protocol; it moves messages,
+tracks contacts, applies membership changes, and records metrics/traces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Protocol as TypingProtocol
+
+from repro.errors import ConfigurationError, RoundLimitExceeded
+from repro.sim.inbox import Inbox
+from repro.sim.membership import MembershipSchedule
+from repro.sim.message import BROADCAST, Message, Outbox, Send
+from repro.sim.metrics import Metrics
+from repro.sim.node import NodeApi, Protocol
+from repro.sim.trace import Trace
+from repro.types import NodeId, Round
+
+
+class ByzantineActor(TypingProtocol):
+    """Structural interface for Byzantine strategies (see repro.adversary)."""
+
+    def on_round(self, view: "AdversaryView") -> Iterable[Send]:
+        """Return this round's (arbitrary) sends."""
+        ...
+
+
+@dataclass
+class AdversaryView:
+    """Everything a Byzantine node gets to see in one round.
+
+    The adversary is omniscient about membership ("it can behave as if it
+    already knows all the nodes") and, in rushing mode, also sees what every
+    correct node just sent this round before speaking itself.
+    """
+
+    node_id: NodeId
+    round: Round
+    inbox: Inbox
+    all_nodes: frozenset[NodeId]
+    correct_nodes: frozenset[NodeId]
+    byzantine_nodes: frozenset[NodeId]
+    rng: random.Random
+    #: (sender, send) pairs from correct nodes this round; empty unless the
+    #: network runs in rushing mode.
+    correct_traffic: tuple[tuple[NodeId, Send], ...] = ()
+
+
+@dataclass
+class _NodeState:
+    """Engine-internal per-node bookkeeping."""
+
+    node_id: NodeId
+    behaviour: Any  # Protocol or ByzantineActor
+    byzantine: bool
+    alive: bool = True
+    joined_round: Round = 1
+    left_round: Round | None = None
+    contacts: set[NodeId] = field(default_factory=set)
+    pending: list[tuple[NodeId, Send]] = field(default_factory=list)
+
+    @property
+    def protocol(self) -> Protocol:
+        return self.behaviour
+
+
+class SyncNetwork:
+    """A synchronous network of correct protocols and Byzantine actors."""
+
+    def __init__(
+        self,
+        seed: int | None = 0,
+        rushing: bool = False,
+        membership: MembershipSchedule | None = None,
+        measure_bytes: bool = False,
+    ):
+        self._rng = random.Random(0 if seed is None else seed)
+        self.rushing = rushing
+        self.membership = membership or MembershipSchedule()
+        self.metrics = Metrics()
+        self.trace = Trace()
+        self.round: Round = 0
+        #: When set, every logical send is also costed in wire bytes
+        #: using the repro.net frame codec (see Metrics.bytes_total).
+        self.measure_bytes = measure_bytes
+        self._nodes: dict[NodeId, _NodeState] = {}
+
+    # ------------------------------------------------------------------
+    # Population management
+    # ------------------------------------------------------------------
+    def add_correct(self, node_id: NodeId, protocol: Protocol) -> None:
+        """Register a correct node before (or during) the run."""
+        self._register(node_id, protocol, byzantine=False)
+
+    def add_byzantine(self, node_id: NodeId, strategy: ByzantineActor) -> None:
+        """Register a Byzantine node before (or during) the run."""
+        self._register(node_id, strategy, byzantine=True)
+
+    def _register(self, node_id: NodeId, behaviour: Any, byzantine: bool) -> None:
+        if node_id in self._nodes:
+            raise ConfigurationError(f"duplicate node id {node_id}")
+        self._nodes[node_id] = _NodeState(
+            node_id=node_id,
+            behaviour=behaviour,
+            byzantine=byzantine,
+            joined_round=max(self.round + 1, 1),
+        )
+
+    def remove(self, node_id: NodeId) -> None:
+        """Forcibly remove a node (adversary-driven leave / crash)."""
+        state = self._nodes.get(node_id)
+        if state is not None and state.alive:
+            state.alive = False
+            state.left_round = self.round
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def node_ids(self) -> frozenset[NodeId]:
+        return frozenset(self._nodes)
+
+    @property
+    def alive_ids(self) -> frozenset[NodeId]:
+        return frozenset(nid for nid, s in self._nodes.items() if s.alive)
+
+    @property
+    def correct_ids(self) -> frozenset[NodeId]:
+        return frozenset(
+            nid for nid, s in self._nodes.items() if not s.byzantine
+        )
+
+    @property
+    def byzantine_ids(self) -> frozenset[NodeId]:
+        return frozenset(nid for nid, s in self._nodes.items() if s.byzantine)
+
+    def protocol_of(self, node_id: NodeId) -> Protocol:
+        state = self._nodes[node_id]
+        if state.byzantine:
+            raise ConfigurationError(f"node {node_id} is Byzantine")
+        return state.protocol
+
+    def protocols(self) -> dict[NodeId, Protocol]:
+        """Map of correct node id -> protocol instance."""
+        return {
+            nid: s.protocol
+            for nid, s in self._nodes.items()
+            if not s.byzantine
+        }
+
+    def outputs(self) -> dict[NodeId, Any]:
+        """Outputs of the correct nodes that have decided so far."""
+        return {
+            nid: s.protocol.output
+            for nid, s in self._nodes.items()
+            if not s.byzantine and s.protocol.halted
+        }
+
+    def all_correct_halted(self) -> bool:
+        return all(
+            s.protocol.halted
+            for s in self._nodes.values()
+            if not s.byzantine and s.alive
+        )
+
+    # ------------------------------------------------------------------
+    # The round loop
+    # ------------------------------------------------------------------
+    def run(self, max_rounds: int, until_all_halted: bool = True) -> int:
+        """Run rounds until every live correct node halts (or the budget
+        runs out).  Returns the number of the last executed round.
+
+        With ``until_all_halted=False`` the engine always runs exactly
+        ``max_rounds`` rounds (for non-terminating abstractions).
+        """
+        for _ in range(max_rounds):
+            self.step()
+            if until_all_halted and self.all_correct_halted():
+                return self.round
+        if until_all_halted and not self.all_correct_halted():
+            running = [
+                s.node_id
+                for s in self._nodes.values()
+                if not s.byzantine and s.alive and not s.protocol.halted
+            ]
+            raise RoundLimitExceeded(max_rounds, running)
+        return self.round
+
+    def step(self) -> None:
+        """Execute one synchronous round."""
+        self.round += 1
+        self.metrics.record_round(self.round)
+        self._apply_membership()
+
+        inboxes = self._collect_inboxes()
+
+        correct_sends: list[tuple[NodeId, Send]] = []
+        for state in self._iter_alive(byzantine=False):
+            sends = self._run_correct(state, inboxes.get(state.node_id, Inbox()))
+            correct_sends.extend((state.node_id, s) for s in sends)
+
+        byz_sends: list[tuple[NodeId, Send]] = []
+        rushing_traffic = tuple(correct_sends) if self.rushing else ()
+        for state in self._iter_alive(byzantine=True):
+            view = AdversaryView(
+                node_id=state.node_id,
+                round=self.round,
+                inbox=inboxes.get(state.node_id, Inbox()),
+                all_nodes=self.alive_ids,
+                correct_nodes=self.correct_ids & self.alive_ids,
+                byzantine_nodes=self.byzantine_ids & self.alive_ids,
+                rng=self._rng,
+                correct_traffic=rushing_traffic,
+            )
+            for send in state.behaviour.on_round(view):
+                byz_sends.append((state.node_id, send))
+
+        self._stage(correct_sends)
+        self._stage(byz_sends)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _iter_alive(self, byzantine: bool) -> list[_NodeState]:
+        # Deterministic order: ascending node id.
+        return sorted(
+            (
+                s
+                for s in self._nodes.values()
+                if s.alive and s.byzantine == byzantine
+            ),
+            key=lambda s: s.node_id,
+        )
+
+    def _apply_membership(self) -> None:
+        for spec in self.membership.joins_at(self.round):
+            behaviour = spec.factory()
+            self._register(spec.node_id, behaviour, byzantine=spec.byzantine)
+            # _register sets joined_round to round+1; fix to this round.
+            self._nodes[spec.node_id].joined_round = self.round
+        for spec in self.membership.leaves_at(self.round):
+            self.remove(spec.node_id)
+
+    def _collect_inboxes(self) -> dict[NodeId, Inbox]:
+        inboxes: dict[NodeId, Inbox] = {}
+        for state in self._nodes.values():
+            if not state.alive or not state.pending:
+                state.pending.clear()
+                continue
+            seen: set[Message] = set()
+            ordered: list[Message] = []
+            for sender, send in state.pending:
+                message = send.stamped(sender)
+                if message not in seen:  # per-round duplicate suppression
+                    seen.add(message)
+                    ordered.append(message)
+            state.pending.clear()
+            state.contacts.update(m.sender for m in ordered)
+            self.metrics.record_delivery(self.round, len(ordered))
+            inboxes[state.node_id] = Inbox(ordered)
+        return inboxes
+
+    def _run_correct(self, state: _NodeState, inbox: Inbox) -> Outbox:
+        outbox = Outbox()
+        if state.protocol.halted:
+            return outbox
+        api = NodeApi(
+            node_id=state.node_id,
+            round_no=self.round,
+            known_contacts=frozenset(state.contacts),
+            outbox=outbox,
+            trace_sink=self.trace.record,
+        )
+        state.protocol.on_round(api, inbox)
+        return outbox
+
+    def _wire_cost(self, sender: NodeId, send: Send) -> int:
+        """Size of the send as a repro.net frame (0 when not measuring)."""
+        if not self.measure_bytes:
+            return 0
+        from repro.net.wire import encode_frame
+
+        try:
+            return len(
+                encode_frame(
+                    self.round, sender, send.kind, send.payload, send.instance
+                )
+            )
+        except Exception:
+            # Non-wire-representable payloads (test doubles etc.): fall
+            # back to a repr-based estimate rather than failing the run.
+            return len(repr((send.kind, send.payload, send.instance)))
+
+    def _stage(self, sends: list[tuple[NodeId, Send]]) -> None:
+        """Queue sends for delivery at the next round."""
+        alive = [s for s in self._nodes.values() if s.alive]
+        for sender, send in sends:
+            self.metrics.record_send(
+                self.round, sender, send.kind, self._wire_cost(sender, send)
+            )
+            if send.dest is BROADCAST:
+                for state in alive:
+                    state.pending.append((sender, send))
+            else:
+                state = self._nodes.get(send.dest)
+                if state is not None and state.alive:
+                    state.pending.append((sender, send))

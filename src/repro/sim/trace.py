@@ -1,0 +1,82 @@
+"""Event tracing.
+
+Protocols emit semantic events (``accept``, ``decide``, ``good-round``)
+through :meth:`repro.sim.node.NodeApi.emit`; the trace records them with the
+round and node so that property checkers can verify timing-sensitive claims
+such as the relay property ("if a correct node accepts in round ``r``, every
+correct node accepts by ``r + 1``") after the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.types import NodeId, Round
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One semantic event emitted by a node during a run."""
+
+    round: Round
+    node: NodeId
+    event: str
+    detail: dict[str, Any]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.detail.get(key, default)
+
+
+@dataclass
+class Trace:
+    """Append-only event log for one run.
+
+    Observers subscribed via :meth:`subscribe` see every event as it is
+    recorded — the hook behind the online monitors in
+    :mod:`repro.analysis.monitor` (fail fast on the round a property
+    breaks, instead of diagnosing post-mortem).
+    """
+
+    events: list[TraceEvent] = field(default_factory=list)
+    _observers: list = field(default_factory=list, repr=False)
+
+    def subscribe(self, observer) -> None:
+        """Register ``observer(event: TraceEvent)`` for live events."""
+        self._observers.append(observer)
+
+    def record(
+        self, round_no: Round, node: NodeId, event: str, detail: dict[str, Any]
+    ) -> None:
+        recorded = TraceEvent(round_no, node, event, dict(detail))
+        self.events.append(recorded)
+        for observer in self._observers:
+            observer(recorded)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of(self, event: str, node: NodeId | None = None) -> list[TraceEvent]:
+        """All events with the given name (optionally from one node)."""
+        return [
+            e
+            for e in self.events
+            if e.event == event and (node is None or e.node == node)
+        ]
+
+    def first(self, event: str, node: NodeId | None = None) -> TraceEvent | None:
+        """The earliest matching event, or None."""
+        matching = self.of(event, node)
+        return min(matching, key=lambda e: e.round) if matching else None
+
+    def rounds_of(self, event: str) -> dict[NodeId, Round]:
+        """Map node -> earliest round it emitted *event*."""
+        earliest: dict[NodeId, Round] = {}
+        for e in self.events:
+            if e.event == event:
+                if e.node not in earliest or e.round < earliest[e.node]:
+                    earliest[e.node] = e.round
+        return earliest

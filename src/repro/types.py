@@ -1,0 +1,57 @@
+"""Shared primitive types for the id-only model.
+
+The paper's model gives every node a unique but *not necessarily
+consecutive* identifier and nothing else: no knowledge of ``n`` (number of
+participants) or ``f`` (upper bound on Byzantine participants).  To make
+that explicit throughout the codebase, node identifiers are plain integers
+drawn from an arbitrary (sparse) space, and the aliases below are used in
+signatures instead of bare ``int``.
+"""
+
+from __future__ import annotations
+
+from typing import TypeAlias
+
+#: A node identifier.  Unique, not necessarily consecutive, not necessarily
+#: small.  The simulator assigns these; protocols must never assume density.
+NodeId: TypeAlias = int
+
+#: A round number.  Rounds are 1-based in the simulator (round 1 delivers
+#: nothing and carries the initial sends).
+Round: TypeAlias = int
+
+#: Values carried by agreement protocols.  The paper uses binary values for
+#: classic consensus, reals for early-terminating consensus and approximate
+#: agreement, and opaque event payloads for total ordering.  Any hashable,
+#: comparable value works.
+Value: TypeAlias = object
+
+#: The ``bottom`` value used by parallel consensus for "no opinion".  A
+#: dedicated singleton keeps it distinct from every user value including
+#: ``None``.
+
+
+class _Bottom:
+    """Singleton marker for the paper's ``⊥`` (no opinion)."""
+
+    _instance: "_Bottom | None" = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "⊥"
+
+    def __reduce__(self):
+        return (_Bottom, ())
+
+
+#: The canonical ``⊥`` instance.
+BOTTOM = _Bottom()
+
+
+def is_bottom(value: object) -> bool:
+    """Return True when *value* is the ``⊥`` marker."""
+    return value is BOTTOM

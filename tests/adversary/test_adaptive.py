@@ -1,0 +1,77 @@
+"""Unit tests for the adaptive adversary's classification logic."""
+
+import random
+
+from repro.adversary import AdaptiveStrategy
+from repro.sim.inbox import Inbox
+from repro.sim.message import Message
+from repro.sim.network import AdversaryView
+
+
+def view(inbox_msgs=(), round_no=3, node_id=50):
+    nodes = frozenset({1, 2, 3, 4, node_id})
+    return AdversaryView(
+        node_id=node_id,
+        round=round_no,
+        inbox=Inbox(inbox_msgs),
+        all_nodes=nodes,
+        correct_nodes=nodes - {node_id},
+        byzantine_nodes=frozenset({node_id}),
+        rng=random.Random(0),
+        correct_traffic=(),
+    )
+
+
+class TestAdaptiveStrategy:
+    def test_announces_once(self):
+        strategy = AdaptiveStrategy()
+        first = list(strategy.on_round(view(round_no=1)))
+        assert {s.kind for s in first} == {"init", "present"}
+        second = list(strategy.on_round(view(round_no=2)))
+        assert "init" not in {s.kind for s in second}
+
+    def test_attacks_value_traffic(self):
+        strategy = AdaptiveStrategy()
+        strategy.on_round(view(round_no=1))
+        sends = list(
+            strategy.on_round(view([Message(1, "value", 3.0)]))
+        )
+        payloads = {s.payload for s in sends if s.kind == "value"}
+        assert payloads == {-1e9, 1e9}
+
+    def test_mirrors_quorum_kinds_with_split(self):
+        strategy = AdaptiveStrategy()
+        strategy.on_round(view(round_no=1))
+        inbox = [
+            Message(1, "prefer", 0),
+            Message(2, "prefer", 0),
+            Message(3, "prefer", 1),
+        ]
+        sends = [
+            s
+            for s in strategy.on_round(view(inbox))
+            if s.kind == "prefer"
+        ]
+        assert {s.payload for s in sends} == {0, 1}
+        assert len(sends) == 5  # one per node
+
+    def test_preserves_instance_tags(self):
+        strategy = AdaptiveStrategy()
+        strategy.on_round(view(round_no=1))
+        inbox = [Message(1, "input", 5, instance="id-x")]
+        sends = [
+            s for s in strategy.on_round(view(inbox)) if s.kind == "input"
+        ]
+        assert all(s.instance == "id-x" for s in sends)
+
+    def test_forges_echo_for_phantom(self):
+        strategy = AdaptiveStrategy(phantom_base=10**8)
+        strategy.on_round(view(round_no=1))
+        sends = list(strategy.on_round(view([Message(1, "echo", 2)])))
+        echoes = [s for s in sends if s.kind == "echo"]
+        assert echoes and echoes[0].payload == 10**8 + 50
+
+    def test_quiet_when_nothing_to_mimic(self):
+        strategy = AdaptiveStrategy()
+        strategy.on_round(view(round_no=1))
+        assert list(strategy.on_round(view())) == []

@@ -1,0 +1,44 @@
+"""Tests for the strategy registry."""
+
+import pytest
+
+from repro.adversary import STRATEGY_BUILDERS, build_strategy
+from repro.adversary.registry import WRAPPING_STRATEGIES
+from repro.core.consensus import EarlyConsensus
+from repro.errors import ConfigurationError
+
+
+def honest():
+    return EarlyConsensus(0)
+
+
+class TestBuildStrategy:
+    @pytest.mark.parametrize("name", STRATEGY_BUILDERS)
+    def test_every_registered_name_builds(self, name):
+        factory = build_strategy(name, protocol_factory=honest)
+        strategy = factory(42, 0)
+        assert hasattr(strategy, "on_round")
+
+    @pytest.mark.parametrize("name", sorted(WRAPPING_STRATEGIES))
+    def test_wrapping_strategies_require_protocol_factory(self, name):
+        with pytest.raises(ConfigurationError):
+            build_strategy(name)
+
+    def test_unknown_name_raises_at_build_time(self):
+        factory = build_strategy("no-such-strategy")
+        with pytest.raises(ConfigurationError):
+            factory(1, 0)
+
+    def test_crash_round_staggered_by_index(self):
+        factory = build_strategy("crash", protocol_factory=honest)
+        first, second = factory(1, 0), factory(2, 1)
+        assert second.crash_round == first.crash_round + 1
+
+    def test_kwargs_forwarded(self):
+        factory = build_strategy("noise", rate=7)
+        strategy = factory(1, 0)
+        assert strategy._rate == 7
+
+    def test_fresh_instances_per_call(self):
+        factory = build_strategy("silent")
+        assert factory(1, 0) is not factory(2, 1)

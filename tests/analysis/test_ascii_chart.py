@@ -1,0 +1,45 @@
+"""ASCII chart renderer."""
+
+from repro.analysis.ascii_chart import render_chart
+
+
+class TestRenderChart:
+    def test_empty(self):
+        assert render_chart({}) == "(no data)"
+        assert render_chart({"s": []}) == "(no data)"
+
+    def test_single_series_extremes_placed(self):
+        text = render_chart(
+            {"range": [8, 4, 2, 1]}, width=20, height=6,
+            x_label="round", y_label="range",
+        )
+        lines = text.splitlines()
+        assert lines[0].strip() == "range"
+        assert "8" in lines[1]  # top label
+        # the first sample sits on the top row, the last near the bottom
+        assert "*" in lines[1]
+        assert "round ->" in lines[-1]
+
+    def test_two_series_get_legend(self):
+        text = render_chart(
+            {"a": [1, 2, 3], "b": [3, 2, 1]}, width=12, height=5
+        )
+        assert "[" in text.splitlines()[-1]
+        assert "* a" in text
+        assert "o b" in text
+
+    def test_flat_series_no_division_by_zero(self):
+        text = render_chart({"s": [5, 5, 5]}, width=10, height=4)
+        assert "*" in text
+
+    def test_single_point(self):
+        text = render_chart({"s": [7]}, width=10, height=4)
+        assert "*" in text
+
+    def test_dimensions_respected(self):
+        text = render_chart({"s": list(range(30))}, width=25, height=8)
+        plot_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(plot_lines) == 8
+        assert all(
+            len(l.split("|", 1)[1]) <= 25 for l in plot_lines
+        )

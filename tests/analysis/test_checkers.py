@@ -1,0 +1,129 @@
+"""Tests for the property checkers (including that they can fail)."""
+
+import pytest
+
+from repro.analysis.checkers import (
+    CheckReport,
+    check_agreement,
+    check_approx_agreement,
+    check_chain_prefix,
+    check_validity,
+)
+from repro.errors import PropertyViolation
+from repro.sim.metrics import Metrics
+from repro.sim.runner import ScenarioResult
+from repro.sim.trace import Trace
+
+
+def fake_result(correct_ids, outputs):
+    return ScenarioResult(
+        network=None,
+        correct_ids=list(correct_ids),
+        byzantine_ids=[],
+        rounds=1,
+        outputs=dict(outputs),
+        metrics=Metrics(),
+        trace=Trace(),
+        protocols={},
+    )
+
+
+class TestCheckReport:
+    def test_ok_when_no_violations(self):
+        assert CheckReport("x").ok
+
+    def test_raise_if_failed(self):
+        report = CheckReport("x")
+        report.add("broken")
+        with pytest.raises(PropertyViolation):
+            report.raise_if_failed()
+
+    def test_raise_if_failed_passes_through_when_ok(self):
+        report = CheckReport("x")
+        assert report.raise_if_failed() is report
+
+    def test_merged(self):
+        a, b = CheckReport("a"), CheckReport("b")
+        a.add("va")
+        merged = a.merged_with(b)
+        assert merged.violations == ["va"]
+
+
+class TestAgreement:
+    def test_accepts_unanimous(self):
+        result = fake_result([1, 2], {1: "v", 2: "v"})
+        assert check_agreement(result).ok
+
+    def test_rejects_conflict(self):
+        result = fake_result([1, 2], {1: "v", 2: "w"})
+        assert not check_agreement(result).ok
+
+    def test_rejects_missing_decision(self):
+        result = fake_result([1, 2], {1: "v"})
+        report = check_agreement(result)
+        assert not report.ok
+        assert "never decided" in report.violations[0]
+
+
+class TestValidity:
+    def test_accepts_valid_output(self):
+        result = fake_result([1, 2], {1: 0, 2: 0})
+        assert check_validity(result, [0, 1]).ok
+
+    def test_rejects_fabricated_output(self):
+        result = fake_result([1], {1: 9})
+        assert not check_validity(result, [0, 1]).ok
+
+    def test_unanimous_inputs_pin_the_output(self):
+        result = fake_result([1], {1: 0})
+        # inputs unanimous on 1, output 0 -> invalid twice over
+        report = check_validity(result, [1, 1])
+        assert not report.ok
+
+
+class TestApprox:
+    def test_accepts_contained_and_halved(self):
+        result = fake_result([1, 2], {1: 4.0, 2: 5.0})
+        assert check_approx_agreement(result, [0.0, 10.0]).ok
+
+    def test_rejects_escape(self):
+        result = fake_result([1], {1: 11.0})
+        assert not check_approx_agreement(result, [0.0, 10.0]).ok
+
+    def test_rejects_insufficient_shrink(self):
+        result = fake_result([1, 2], {1: 0.0, 2: 9.0})
+        assert not check_approx_agreement(result, [0.0, 10.0]).ok
+
+    def test_halving_optional(self):
+        result = fake_result([1, 2], {1: 0.0, 2: 9.0})
+        assert check_approx_agreement(
+            result, [0.0, 10.0], expect_halving=False
+        ).ok
+
+    def test_zero_input_range(self):
+        result = fake_result([1, 2], {1: 5.0, 2: 5.0})
+        assert check_approx_agreement(result, [5.0, 5.0]).ok
+
+
+class TestChainPrefix:
+    def test_identical_chains_pass(self):
+        chain = [(1, 9, "a"), (2, 8, "b")]
+        assert check_chain_prefix({1: list(chain), 2: list(chain)}).ok
+
+    def test_prefix_passes(self):
+        long = [(1, 9, "a"), (2, 8, "b"), (3, 9, "c")]
+        assert check_chain_prefix({1: long, 2: long[:2]}).ok
+
+    def test_divergence_fails(self):
+        a = [(1, 9, "a"), (2, 8, "b")]
+        b = [(1, 9, "a"), (2, 8, "X")]
+        assert not check_chain_prefix({1: a, 2: b}).ok
+
+    def test_joiner_suffix_passes(self):
+        veteran = [(1, 9, "a"), (2, 8, "b"), (3, 9, "c")]
+        joiner = [(2, 8, "b"), (3, 9, "c")]
+        assert check_chain_prefix({1: veteran, 2: joiner}).ok
+
+    def test_empty_chains_pass(self):
+        assert check_chain_prefix({}).ok
+        assert check_chain_prefix({1: [], 2: []}).ok

@@ -1,0 +1,63 @@
+"""Tests for the complexity-curve fitting."""
+
+import pytest
+
+from repro.analysis.complexity import classify_growth, fit_line
+
+
+class TestFitLine:
+    def test_perfect_line(self):
+        fit = fit_line([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_line(self):
+        fit = fit_line([1, 2, 3, 4, 5], [2.1, 3.9, 6.2, 7.8, 10.1])
+        assert fit.slope == pytest.approx(2.0, abs=0.2)
+        assert fit.r_squared > 0.98
+
+    def test_flat(self):
+        fit = fit_line([1, 2, 3], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_line([0, 1], [1, 3])
+        assert fit.predict(2) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_line([1], [2])
+        with pytest.raises(ValueError):
+            fit_line([1, 2], [1])
+        with pytest.raises(ValueError):
+            fit_line([2, 2], [1, 3])
+
+
+class TestClassifyGrowth:
+    def test_constant_series(self):
+        verdict = classify_growth([4, 8, 16, 32], [12, 12, 13, 12])
+        assert verdict.kind == "constant"
+        assert verdict.is_linear_or_better
+
+    def test_linear_series(self):
+        verdict = classify_growth([4, 8, 16, 32], [6, 10, 18, 34])
+        assert verdict.kind == "linear"
+        assert verdict.is_linear_or_better
+
+    def test_quadratic_series(self):
+        verdict = classify_growth([4, 8, 16, 32], [16, 64, 256, 1024])
+        assert verdict.kind == "superlinear"
+        assert not verdict.is_linear_or_better
+
+    def test_real_rotor_shape(self):
+        # the E2 measurements: max termination round vs n
+        verdict = classify_growth([4, 7, 13, 25, 49], [6, 8, 12, 20, 36])
+        assert verdict.kind == "linear"
+        assert 0.5 < verdict.fit.slope < 1.1
+
+    def test_real_consensus_vs_n_shape(self):
+        # the E3b measurements: rounds vs n at fixed f
+        verdict = classify_growth([7, 13, 25, 49], [14, 12, 12, 12])
+        assert verdict.kind == "constant"

@@ -1,0 +1,88 @@
+"""Tests for the parallel-consensus output checker."""
+
+import pytest
+
+from repro.adversary import SilentStrategy
+from repro.analysis.checkers import check_parallel_outputs
+from repro.core.parallel_consensus import ParallelConsensus
+from repro.sim.metrics import Metrics
+from repro.sim.runner import ScenarioResult
+from repro.sim.trace import Trace
+
+from tests.conftest import run_quick
+
+
+def fake_result(correct_ids, outputs):
+    return ScenarioResult(
+        network=None,
+        correct_ids=list(correct_ids),
+        byzantine_ids=[],
+        rounds=1,
+        outputs=dict(outputs),
+        metrics=Metrics(),
+        trace=Trace(),
+    )
+
+
+class TestSynthetic:
+    def test_accepts_valid_run(self):
+        out = (("a", 1), ("b", 2))
+        result = fake_result([1, 2], {1: out, 2: out})
+        inputs = {1: {"a": 1, "b": 2}, 2: {"a": 1, "b": 2}}
+        assert check_parallel_outputs(result, inputs).ok
+
+    def test_rejects_missing_universal_pair(self):
+        result = fake_result([1, 2], {1: (), 2: ()})
+        inputs = {1: {"a": 1}, 2: {"a": 1}}
+        report = check_parallel_outputs(result, inputs)
+        assert any("validity" in v for v in report.violations)
+
+    def test_partial_pairs_may_be_dropped(self):
+        result = fake_result([1, 2], {1: (), 2: ()})
+        inputs = {1: {"a": 1}, 2: {}}  # not universal: drop is legal
+        assert check_parallel_outputs(result, inputs).ok
+
+    def test_rejects_fabricated_pair(self):
+        out = (("ghost", 9),)
+        result = fake_result([1, 2], {1: out, 2: out})
+        inputs = {1: {}, 2: {}}
+        report = check_parallel_outputs(result, inputs)
+        assert any("fabrication" in v for v in report.violations)
+
+    def test_rejects_value_not_input_by_anyone(self):
+        out = (("a", 5),)
+        result = fake_result([1, 2], {1: out, 2: out})
+        inputs = {1: {"a": 1}, 2: {"a": 2}}
+        report = check_parallel_outputs(result, inputs)
+        assert any("fabrication" in v for v in report.violations)
+
+    def test_value_from_some_correct_node_ok(self):
+        out = (("a", 2),)
+        result = fake_result([1, 2], {1: out, 2: out})
+        inputs = {1: {"a": 1}, 2: {"a": 2}}
+        assert check_parallel_outputs(result, inputs).ok
+
+    def test_disagreement_propagates(self):
+        result = fake_result([1, 2], {1: (("a", 1),), 2: (("a", 2),)})
+        inputs = {1: {"a": 1}, 2: {"a": 1}}
+        assert not check_parallel_outputs(result, inputs).ok
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_real_runs_pass(self, seed):
+        inputs_by_node = {}
+
+        def factory(nid, i):
+            pairs = {"x": 1} if i < 4 else {"x": 1, "y": 2}
+            inputs_by_node[nid] = pairs
+            return ParallelConsensus(pairs)
+
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=seed,
+            protocol_factory=factory,
+            strategy_factory=lambda nid, i: SilentStrategy(),
+        )
+        check_parallel_outputs(result, inputs_by_node).raise_if_failed()

@@ -1,0 +1,181 @@
+"""Tests for stats aggregation, sweeps, and table rendering."""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import summarize_runs
+from repro.analysis.sweep import sweep
+from repro.core.consensus import EarlyConsensus
+from repro.sim.metrics import Metrics
+from repro.sim.runner import Scenario, ScenarioResult
+from repro.sim.trace import Trace
+
+
+def result_with(rounds, sends):
+    metrics = Metrics()
+    metrics.rounds = rounds
+    metrics.sends_total = sends
+    return ScenarioResult(
+        network=None,
+        correct_ids=[1],
+        byzantine_ids=[],
+        rounds=rounds,
+        outputs={1: 0},
+        metrics=metrics,
+        trace=Trace(),
+    )
+
+
+class TestStats:
+    def test_summary_values(self):
+        stats = summarize_runs(
+            [result_with(10, 100), result_with(20, 300)]
+        )
+        assert stats.runs == 2
+        assert stats.rounds_mean == 15
+        assert stats.rounds_max == 20
+        assert stats.sends_mean == 200
+        assert stats.success_rate == 1.0
+
+    def test_success_rate(self):
+        stats = summarize_runs(
+            [result_with(1, 1), result_with(1, 1)], [True, False]
+        )
+        assert stats.success_rate == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])
+
+    def test_mismatched_successes_raises(self):
+        with pytest.raises(ValueError):
+            summarize_runs([result_with(1, 1)], [True, False])
+
+    def test_as_row_keys(self):
+        row = summarize_runs([result_with(5, 50)]).as_row()
+        assert {"runs", "ok%", "rounds(mean)", "msgs(mean)"} <= set(row)
+
+
+class TestSweep:
+    def build(self, point, seed):
+        return Scenario(
+            correct=4,
+            protocol_factory=lambda nid, i: EarlyConsensus(point),
+            seed=seed,
+            max_rounds=50,
+        )
+
+    def test_rows_per_point(self):
+        outcome = sweep(
+            points=[0, 1],
+            build=self.build,
+            judge=lambda r: r.agreed,
+            seeds=range(3),
+        )
+        assert len(outcome.rows) == 2
+        assert all(row["ok%"] == 100.0 for row in outcome.rows)
+
+    def test_judge_failures_counted(self):
+        outcome = sweep(
+            points=[0],
+            build=self.build,
+            judge=lambda r: False,
+            seeds=range(2),
+        )
+        assert outcome.rows[0]["ok%"] == 0.0
+        assert outcome.failures[0]
+
+    def test_liveness_failures_counted_not_raised(self):
+        def tiny_budget(point, seed):
+            scenario = self.build(point, seed)
+            scenario.max_rounds = 1  # cannot possibly finish
+            return scenario
+
+        outcome = sweep(
+            points=["x"],
+            build=tiny_budget,
+            judge=lambda r: True,
+            seeds=range(2),
+        )
+        assert outcome.rows[0]["ok%"] == 0.0
+        assert len(outcome.failures["x"]) == 2
+
+    def test_crash_is_failure_false_propagates(self):
+        import pytest as _pytest
+
+        from repro.errors import SimulationError
+
+        def tiny_budget(point, seed):
+            scenario = self.build(point, seed)
+            scenario.max_rounds = 1
+            return scenario
+
+        with _pytest.raises(SimulationError):
+            sweep(
+                points=["x"],
+                build=tiny_budget,
+                judge=lambda r: True,
+                seeds=range(1),
+                crash_is_failure=False,
+            )
+
+    def test_row_for(self):
+        outcome = sweep(
+            points=[7],
+            build=self.build,
+            judge=lambda r: True,
+            seeds=range(1),
+        )
+        assert outcome.row_for(7)["point"] == 7
+        with pytest.raises(KeyError):
+            outcome.row_for(8)
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        from repro.analysis.report import sparkline
+
+        text = sparkline([8, 4, 2, 1, 0.5, 0.25])
+        assert text[0] == "█"
+        assert text[-1] == "▁"
+        assert len(text) == 6
+
+    def test_flat_series(self):
+        from repro.analysis.report import sparkline
+
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_empty(self):
+        from repro.analysis.report import sparkline
+
+        assert sparkline([]) == ""
+
+    def test_explicit_bounds(self):
+        from repro.analysis.report import sparkline
+
+        # with a wider explicit range, mid values render lower
+        free = sparkline([0, 5, 10])
+        clamped = sparkline([0, 5, 10], lo=0, hi=100)
+        assert free[-1] == "█"
+        assert clamped[-1] != "█"
+
+
+class TestReport:
+    def test_renders_markdown_table(self):
+        text = format_table(
+            [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="T"
+        )
+        assert "## T" in text
+        assert "| a " in text
+        assert "| 22" in text
+
+    def test_column_subset_and_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_empty_rows(self):
+        assert "(no data)" in format_table([], title="T")
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 0.5}])
+        assert "0.5" in text

@@ -1,0 +1,60 @@
+"""Tests for the ASCII timeline renderer."""
+
+from repro.analysis.timeline import render_timeline
+from repro.core.consensus import EarlyConsensus
+from repro.sim.trace import Trace
+
+from tests.conftest import run_quick
+
+
+class TestRenderTimeline:
+    def test_empty_trace(self):
+        assert "(no matching events)" in render_timeline(Trace(), [1, 2])
+
+    def test_synthetic_events(self):
+        trace = Trace()
+        trace.record(1, 10, "decide", {"value": 1})
+        trace.record(2, 20, "decide", {"value": 1})
+        text = render_timeline(trace, [10, 20])
+        assert "decide=1" in text
+        assert "10" in text.splitlines()[0]
+        assert "20" in text.splitlines()[0]
+
+    def test_silent_rounds_skipped(self):
+        trace = Trace()
+        trace.record(1, 10, "decide", {"value": 0})
+        trace.record(9, 10, "decide", {"value": 0})
+        text = render_timeline(trace, [10])
+        rows = [l for l in text.splitlines()[2:]]
+        assert len(rows) == 2  # rounds 1 and 9 only
+
+    def test_event_filter(self):
+        trace = Trace()
+        trace.record(1, 10, "decide", {"value": 0})
+        trace.record(1, 10, "accept", {})
+        text = render_timeline(trace, [10], events=["accept"])
+        assert "accept" in text
+        assert "decide" not in text
+
+    def test_max_rounds_cutoff(self):
+        trace = Trace()
+        trace.record(1, 10, "accept", {})
+        trace.record(50, 10, "accept", {})
+        text = render_timeline(trace, [10], max_rounds=10)
+        assert "50" not in text
+
+    def test_unknown_template_key_degrades_gracefully(self):
+        trace = Trace()
+        trace.record(1, 10, "decide", {})  # no 'value' in detail
+        text = render_timeline(trace, [10])
+        assert "decide" in text
+
+    def test_real_consensus_run(self):
+        result = run_quick(
+            correct=4,
+            protocol_factory=lambda nid, i: EarlyConsensus(1),
+        )
+        text = render_timeline(result.trace, result.correct_ids)
+        assert "DEC=1" in text
+        # every correct node decided, so the glyph appears 4 times
+        assert text.count("DEC=1") == 4

@@ -1,0 +1,136 @@
+"""Tests for the event-driven engine and schedulers."""
+
+import pytest
+
+from repro.asyncsim.engine import (
+    AsyncContext,
+    AsyncEngine,
+    AsyncMessage,
+    AsyncNode,
+)
+from repro.asyncsim.schedulers import (
+    JitterScheduler,
+    PartitionScheduler,
+    UniformScheduler,
+)
+from repro.errors import ConfigurationError
+
+
+class Pinger(AsyncNode):
+    def __init__(self):
+        super().__init__()
+        self.received = []
+
+    def on_start(self, ctx):
+        ctx.broadcast("ping", ctx.node_id)
+
+    def on_message(self, ctx, message):
+        self.received.append((ctx.time, message.sender, message.kind))
+
+
+class TimerNode(AsyncNode):
+    def __init__(self, delay):
+        super().__init__()
+        self.delay = delay
+        self.fired_at = None
+
+    def on_start(self, ctx):
+        ctx.set_timer(self.delay, "t")
+
+    def on_message(self, ctx, message):
+        pass
+
+    def on_timer(self, ctx, tag):
+        self.fired_at = ctx.time
+        self.decide(ctx, tag)
+
+
+class TestEngine:
+    def test_messages_delivered_with_scheduler_delay(self):
+        engine = AsyncEngine(UniformScheduler(2.5))
+        a, b = Pinger(), Pinger()
+        engine.add_node(1, a)
+        engine.add_node(2, b)
+        engine.run()
+        assert all(t == 2.5 for t, _s, _k in b.received)
+        assert {s for _t, s, _k in b.received} == {1, 2}
+
+    def test_broadcast_reaches_self(self):
+        engine = AsyncEngine(UniformScheduler(1.0))
+        a = Pinger()
+        engine.add_node(1, a)
+        engine.run()
+        assert [s for _t, s, _k in a.received] == [1]
+
+    def test_timer_fires(self):
+        engine = AsyncEngine(UniformScheduler(1.0))
+        node = TimerNode(4.0)
+        engine.add_node(1, node)
+        engine.run()
+        assert node.fired_at == 4.0
+        assert node.decided and node.output == "t"
+
+    def test_run_until_cutoff(self):
+        engine = AsyncEngine(UniformScheduler(5.0))
+        a, b = Pinger(), Pinger()
+        engine.add_node(1, a)
+        engine.add_node(2, b)
+        engine.run(until=3.0)
+        assert b.received == []
+
+    def test_duplicate_node_rejected(self):
+        engine = AsyncEngine(UniformScheduler(1.0))
+        engine.add_node(1, Pinger())
+        with pytest.raises(ConfigurationError):
+            engine.add_node(1, Pinger())
+
+    def test_log_records_receives(self):
+        engine = AsyncEngine(UniformScheduler(1.0))
+        a, b = Pinger(), Pinger()
+        engine.add_node(1, a)
+        engine.add_node(2, b)
+        engine.run()
+        assert ("recv", 1, "ping", 1) in b.log
+
+    def test_delivery_count(self):
+        engine = AsyncEngine(UniformScheduler(1.0))
+        engine.add_node(1, Pinger())
+        engine.add_node(2, Pinger())
+        engine.run()
+        assert engine.delivered == 4  # 2 broadcasts x 2 recipients
+
+    def test_deterministic_ordering(self):
+        def run_once():
+            engine = AsyncEngine(JitterScheduler(seed=9))
+            nodes = [Pinger() for _ in range(4)]
+            for index, node in enumerate(nodes):
+                engine.add_node(index, node)
+            engine.run()
+            return [tuple(n.received) for n in nodes]
+
+        assert run_once() == run_once()
+
+
+class TestSchedulers:
+    def test_uniform(self):
+        assert UniformScheduler(3.0).delay(1, 2, 0.0, "k") == 3.0
+
+    def test_jitter_bounds_and_determinism(self):
+        a = JitterScheduler(1.0, 2.0, seed=4)
+        b = JitterScheduler(1.0, 2.0, seed=4)
+        values = [a.delay(1, 2, 0.0, "k") for _ in range(50)]
+        assert all(1.0 <= v <= 2.0 for v in values)
+        assert values == [b.delay(1, 2, 0.0, "k") for _ in range(50)]
+
+    def test_jitter_validates_bounds(self):
+        with pytest.raises(ValueError):
+            JitterScheduler(3.0, 1.0)
+
+    def test_partition(self):
+        scheduler = PartitionScheduler(
+            [[1, 2], [3, 4]], within=1.0, cross=99.0
+        )
+        assert scheduler.delay(1, 2, 0.0, "k") == 1.0
+        assert scheduler.delay(3, 4, 0.0, "k") == 1.0
+        assert scheduler.delay(1, 3, 0.0, "k") == 99.0
+        assert scheduler.delay(4, 2, 0.0, "k") == 99.0

@@ -1,0 +1,200 @@
+"""Tests for the §9 impossibility experiments."""
+
+import pytest
+
+from repro.asyncsim import (
+    run_async_partition,
+    run_semisync_embedding,
+)
+from repro.asyncsim.engine import AsyncEngine
+from repro.asyncsim.naive_consensus import WaitAndMajority
+from repro.asyncsim.schedulers import UniformScheduler
+
+
+class TestNaiveConsensusSanity:
+    """The victim must be a *reasonable* algorithm: it works fine when
+    delays behave — which is exactly what makes the lemmas bite."""
+
+    def test_agrees_in_a_well_behaved_system(self):
+        engine = AsyncEngine(UniformScheduler(1.0))
+        for node_id, value in enumerate([1, 1, 0, 1, 0]):
+            engine.add_node(node_id, WaitAndMajority(value, patience=5.0))
+        engine.run()
+        outputs = set(engine.outputs().values())
+        assert outputs == {1}
+
+    def test_decides_after_patience(self):
+        engine = AsyncEngine(UniformScheduler(1.0))
+        engine.add_node(1, WaitAndMajority(0, patience=7.0))
+        engine.run()
+        assert engine.node(1).decided_at == 7.0
+
+    def test_relaying_routes_around_slow_links(self):
+        """The victim gossips: a value whose direct link is slow still
+        arrives through a neighbour before the decision timer."""
+        from repro.asyncsim.engine import Scheduler
+
+        class SlowDirectLink(Scheduler):
+            def delay(self, sender, recipient, time, kind):
+                if sender == 1 and recipient == 3:
+                    return 100.0  # direct link effectively dead
+                return 1.0
+
+        engine = AsyncEngine(SlowDirectLink())
+        engine.add_node(1, WaitAndMajority(1, patience=10.0))
+        engine.add_node(2, WaitAndMajority(0, patience=10.0))
+        engine.add_node(3, WaitAndMajority(0, patience=10.0))
+        engine.run(until=50.0)
+        node3 = engine.node(3)
+        # node 3 heard node 1's value via node 2's relay and the
+        # majority includes it
+        assert node3._heard.get(1) == 1
+        assert engine.outputs()[3] == 0  # majority 0 of {1, 0, 0}
+
+    def test_tie_breaks_deterministically(self):
+        def run_once():
+            engine = AsyncEngine(UniformScheduler(1.0))
+            for node_id, value in enumerate([0, 1]):
+                engine.add_node(node_id, WaitAndMajority(value, 5.0))
+            engine.run()
+            return engine.outputs()
+
+        assert run_once() == run_once()
+
+
+class TestStabilityDetectorVictim:
+    """An adaptive quiet-window scheme fails the lemma identically."""
+
+    def _partitioned_engine(self, quiet=5.0, cross=10**6):
+        from repro.asyncsim import StabilityDetector
+        from repro.asyncsim.schedulers import PartitionScheduler
+
+        group_a, group_b = [1, 2, 3], [101, 102, 103]
+        engine = AsyncEngine(
+            PartitionScheduler([group_a, group_b], within=1.0, cross=cross)
+        )
+        for node_id in group_a:
+            engine.add_node(node_id, StabilityDetector(1, quiet))
+        for node_id in group_b:
+            engine.add_node(node_id, StabilityDetector(0, quiet))
+        return engine, group_a, group_b
+
+    def test_works_when_delays_behave(self):
+        from repro.asyncsim import StabilityDetector
+
+        engine = AsyncEngine(UniformScheduler(1.0))
+        for node_id, value in enumerate([1, 1, 0, 0, 1]):
+            engine.add_node(node_id, StabilityDetector(value, 5.0))
+        engine.run()
+        assert set(engine.outputs().values()) == {1}
+
+    def test_partition_still_defeats_it(self):
+        engine, group_a, group_b = self._partitioned_engine()
+        engine.run(until=10**5)
+        outputs = engine.outputs()
+        assert all(outputs[n] == 1 for n in group_a)
+        assert all(outputs[n] == 0 for n in group_b)
+
+    def test_longer_quiet_windows_do_not_help(self):
+        engine, group_a, group_b = self._partitioned_engine(quiet=500.0)
+        engine.run(until=10**5)
+        outputs = engine.outputs()
+        assert {outputs[n] for n in group_a} == {1}
+        assert {outputs[n] for n in group_b} == {0}
+
+    def test_quiet_window_restarts_on_new_participants(self):
+        """Sanity for the mechanism itself: a late (but sub-window)
+        participant postpones the decision and gets counted."""
+        from repro.asyncsim import StabilityDetector
+        from repro.asyncsim.engine import Scheduler
+
+        class SlowThird(Scheduler):
+            def delay(self, sender, recipient, time, kind):
+                return 4.0 if sender == 3 else 1.0
+
+        engine = AsyncEngine(SlowThird())
+        engine.add_node(1, StabilityDetector(0, quiet_period=6.0))
+        engine.add_node(2, StabilityDetector(0, quiet_period=6.0))
+        engine.add_node(3, StabilityDetector(1, quiet_period=6.0))
+        engine.run()
+        node1 = engine.node(1)
+        assert node1._heard.get(3) == 1  # the slow node was awaited
+
+
+class TestAsyncPartition:
+    def test_disagreement_certain_under_partition_schedule(self):
+        result = run_async_partition()
+        assert result.disagreement
+
+    def test_groups_decide_their_own_inputs(self):
+        result = run_async_partition()
+        assert all(result.decisions[n] == 1 for n in result.group_a)
+        assert all(result.decisions[n] == 0 for n in result.group_b)
+
+    def test_indistinguishable_from_solo_systems(self):
+        result = run_async_partition()
+        assert result.indistinguishable
+
+    @pytest.mark.parametrize("patience", [1.0, 10.0, 100.0])
+    def test_no_patience_escapes(self, patience):
+        # Longer waiting does not help: the adversary scales with it.
+        result = run_async_partition(patience=patience)
+        assert result.disagreement and result.indistinguishable
+
+    @pytest.mark.parametrize("size_a,size_b", [(1, 7), (3, 5), (6, 2)])
+    def test_any_partition_shape_works(self, size_a, size_b):
+        result = run_async_partition(size_a=size_a, size_b=size_b)
+        assert result.disagreement
+
+
+class TestProbabilisticReading:
+    def test_disagreement_rate_tracks_partition_probability(self):
+        from repro.asyncsim import estimate_disagreement_probability
+
+        result = estimate_disagreement_probability(
+            partition_probability=0.4, runs=40, seed=1
+        )
+        # each partitioned run disagrees; benign runs do not
+        assert abs(result.disagreement_rate - 0.4) < 0.2
+        assert result.disagreements > 0
+
+    def test_zero_probability_zero_disagreement(self):
+        from repro.asyncsim import estimate_disagreement_probability
+
+        result = estimate_disagreement_probability(
+            partition_probability=0.0, runs=10, seed=2
+        )
+        assert result.disagreement_rate == 0.0
+
+    def test_certain_partition_certain_disagreement(self):
+        from repro.asyncsim import estimate_disagreement_probability
+
+        result = estimate_disagreement_probability(
+            partition_probability=1.0, runs=10, seed=3
+        )
+        assert result.disagreement_rate == 1.0
+
+
+class TestSemiSyncEmbedding:
+    def test_disagreement_with_respected_bound(self):
+        result = run_semisync_embedding()
+        assert result.disagreement
+        assert result.bound_respected
+
+    def test_delta_s_dominates_solo_runs(self):
+        result = run_semisync_embedding()
+        assert result.delta_s > result.delta_a
+        assert result.delta_s > result.delta_b
+        assert result.delta_s > result.duration_a
+        assert result.delta_s > result.duration_b
+
+    def test_indistinguishable_up_to_decision(self):
+        result = run_semisync_embedding()
+        assert result.indistinguishable
+
+    @pytest.mark.parametrize(
+        "delta_a,delta_b", [(0.5, 0.5), (1.0, 3.0), (2.0, 0.25)]
+    )
+    def test_arbitrary_bounds(self, delta_a, delta_b):
+        result = run_semisync_embedding(delta_a=delta_a, delta_b=delta_b)
+        assert result.disagreement and result.indistinguishable

@@ -1,0 +1,118 @@
+"""Adversarial depth for the known-n,f baselines.
+
+The baselines are comparison instruments, but they still claim their
+classical guarantees — which deserve the same adversarial scrutiny as
+the id-only versions (and give the benchmarks a fair fight)."""
+
+import pytest
+
+from repro.adversary.base import ByzantineStrategy
+from repro.baselines import PhaseKingConsensus, SrikanthTouegBroadcast
+from repro.sim.network import SyncNetwork
+from repro.sim.rng import consecutive_ids
+
+
+class EquivocatingKing(ByzantineStrategy):
+    """Plays phase king honestly except: when it is the king, it sends
+    value 0 to half the nodes and 1 to the other half."""
+
+    def __init__(self, members, f):
+        self._protocol = PhaseKingConsensus(0, members, f)
+        from repro.sim.message import Outbox
+
+        self._outbox_cls = Outbox
+
+    def on_round(self, view):
+        from repro.sim.node import NodeApi
+
+        outbox = self._outbox_cls()
+        if not self._protocol.halted:
+            api = NodeApi(
+                node_id=view.node_id,
+                round_no=view.round,
+                known_contacts=frozenset(view.all_nodes),
+                outbox=outbox,
+            )
+            self._protocol.on_round(api, view.inbox)
+        sends = []
+        ordered = sorted(view.all_nodes)
+        half = len(ordered) // 2
+        for send in outbox:
+            if send.kind == "king":
+                sends.extend(
+                    self.to(d, "king", 0) for d in ordered[:half]
+                )
+                sends.extend(
+                    self.to(d, "king", 1) for d in ordered[half:]
+                )
+            else:
+                sends.append(send)
+        return sends
+
+
+def phase_king_network(n, f, strategy_builder, seed=0, inputs=None):
+    ids = consecutive_ids(n)
+    net = SyncNetwork(seed=seed, rushing=True)
+    for node_id in ids[: n - f]:
+        value = (inputs or {}).get(node_id, node_id % 2)
+        net.add_correct(node_id, PhaseKingConsensus(value, ids, f))
+    for node_id in ids[n - f:]:
+        net.add_byzantine(node_id, strategy_builder(ids, f))
+    return net
+
+
+class TestPhaseKingAdversarial:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_equivocating_king_cannot_break_agreement(self, seed):
+        # Byzantine nodes own the smallest ids here?  No: consecutive
+        # ids place them at the top, so they king the *later* phases —
+        # the correct kings of earlier phases already lock agreement.
+        net = phase_king_network(10, 3, EquivocatingKing, seed=seed)
+        net.run(60)
+        assert len(set(net.outputs().values())) == 1
+
+    def test_byzantine_first_kings(self):
+        # Give the Byzantine nodes the smallest ids (they king phases
+        # 1..f); the f+1-th phase's correct king must still settle it.
+        ids = consecutive_ids(10)
+        net = SyncNetwork(seed=1, rushing=True)
+        for node_id in ids[3:]:
+            net.add_correct(
+                node_id, PhaseKingConsensus(node_id % 2, ids, 3)
+            )
+        for node_id in ids[:3]:
+            net.add_byzantine(node_id, EquivocatingKing(ids, 3))
+        net.run(60)
+        assert len(set(net.outputs().values())) == 1
+
+
+class HalfSender(ByzantineStrategy):
+    """A Byzantine ST-broadcast sender revealing its message to half."""
+
+    def on_round(self, view):
+        if view.round != 1:
+            return ()
+        ordered = sorted(view.correct_nodes)
+        half = len(ordered) // 2
+        return [self.to(d, "msg", "w") for d in ordered[:half]]
+
+
+class TestSrikanthTouegAdversarial:
+    def test_byzantine_sender_all_or_nothing(self):
+        ids = consecutive_ids(10)
+        sender = ids[-1]  # a Byzantine node is the designated sender
+        net = SyncNetwork(seed=2, rushing=True)
+        for node_id in ids[:7]:
+            net.add_correct(
+                node_id, SrikanthTouegBroadcast(sender, 10, 3, None)
+            )
+        net.add_byzantine(sender, HalfSender())
+        for node_id in ids[7:9]:
+            net.add_byzantine(node_id, HalfSender())
+        net.run(10, until_all_halted=False)
+        acceptors = [
+            nid
+            for nid, p in net.protocols().items()
+            if ("w", sender) in p.accepted
+        ]
+        assert acceptors == [] or len(acceptors) == 7

@@ -1,0 +1,86 @@
+"""Clock synchronization on approximate agreement."""
+
+import pytest
+
+from repro.adversary import ValueInjectorStrategy
+from repro.core.clock_sync import ClockSyncNode, max_skew
+from repro.sim.network import SyncNetwork
+from repro.sim.rng import make_rng, sparse_ids
+
+
+def build_cluster(
+    drifts,
+    byzantine=0,
+    resync_every=5,
+    seed=0,
+    rushing=False,
+    strategy=None,
+):
+    rng = make_rng(seed)
+    ids = sparse_ids(len(drifts) + byzantine, rng)
+    net = SyncNetwork(seed=seed, rushing=rushing)
+    nodes = []
+    for index, node_id in enumerate(ids[: len(drifts)]):
+        node = ClockSyncNode(drift=drifts[index], resync_every=resync_every)
+        nodes.append(node)
+        net.add_correct(node_id, node)
+    for node_id in ids[len(drifts):]:
+        net.add_byzantine(
+            node_id, strategy() if strategy else ValueInjectorStrategy(
+                low=-1e6, high=1e6
+            )
+        )
+    return net, nodes
+
+
+DRIFTS = [0.02, -0.02, 0.01, -0.01, 0.015, -0.015, 0.0]
+
+
+class TestWithoutSync:
+    def test_unsynchronized_clocks_diverge_linearly(self):
+        # resync far beyond the horizon = no syncs at all
+        net, nodes = build_cluster(DRIFTS, resync_every=1000)
+        net.run(50, until_all_halted=False)
+        early = max_skew(nodes, 9)
+        late = max_skew(nodes, 49)
+        assert late > 4 * early  # linear growth
+
+
+class TestWithSync:
+    def test_skew_plateaus(self):
+        net, nodes = build_cluster(DRIFTS, resync_every=5)
+        net.run(60, until_all_halted=False)
+        plateau = [max_skew(nodes, step) for step in range(20, 60)]
+        unsync_equiv = max(abs(d) for d in DRIFTS) * 2 * 60
+        assert max(plateau) < unsync_equiv / 4
+        # bounded by drift * resync interval, with slack
+        assert max(plateau) <= 0.04 * 5 * 3
+
+    def test_byzantine_clocks_cannot_drag_the_cluster(self):
+        net, nodes = build_cluster(
+            DRIFTS, byzantine=2, resync_every=5, rushing=True
+        )
+        net.run(60, until_all_halted=False)
+        # despite ±1e6 injected readings every round, the cluster's
+        # clocks stay near true time (round count)
+        finals = [node.clock for node in nodes]
+        assert all(abs(clock - 60) < 5 for clock in finals)
+        assert max(finals) - min(finals) < 1.0
+
+    def test_adjustments_recorded(self):
+        net, nodes = build_cluster(DRIFTS, resync_every=5)
+        net.run(30, until_all_halted=False)
+        assert all(node.adjustments for node in nodes)
+
+    def test_tighter_resync_means_tighter_skew(self):
+        net_loose, loose = build_cluster(DRIFTS, resync_every=15, seed=1)
+        net_loose.run(60, until_all_halted=False)
+        net_tight, tight = build_cluster(DRIFTS, resync_every=4, seed=1)
+        net_tight.run(60, until_all_halted=False)
+        loose_skew = max(max_skew(loose, s) for s in range(30, 60))
+        tight_skew = max(max_skew(tight, s) for s in range(30, 60))
+        assert tight_skew < loose_skew
+
+    def test_resync_validation(self):
+        with pytest.raises(ValueError):
+            ClockSyncNode(resync_every=1)

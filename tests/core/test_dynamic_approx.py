@@ -1,0 +1,148 @@
+"""Continuous approximate agreement under churn (§11 first part)."""
+
+import pytest
+
+from repro.adversary import SilentStrategy, ValueInjectorStrategy
+from repro.core.approx_agreement import ContinuousApproximateAgreement
+from repro.sim.membership import MembershipSchedule
+from repro.sim.network import SyncNetwork
+from repro.sim.rng import make_rng, sparse_ids
+
+
+def estimates_at(network, node_ids, step):
+    return [
+        network.protocols()[n].history[step]
+        for n in node_ids
+        if len(network.protocols()[n].history) > step
+    ]
+
+
+class TestStaticBehaviour:
+    def test_halves_per_round(self):
+        net = SyncNetwork(seed=0)
+        rng = make_rng(0)
+        ids = sparse_ids(7, rng)
+        for index, node_id in enumerate(ids):
+            net.add_correct(
+                node_id, ContinuousApproximateAgreement(float(index))
+            )
+        net.run(10, until_all_halted=False)
+        for step in range(1, 9):
+            prev = estimates_at(net, ids, step - 1)
+            curr = estimates_at(net, ids, step)
+            prev_range = max(prev) - min(prev)
+            curr_range = max(curr) - min(curr)
+            assert curr_range <= prev_range / 2 + 1e-12
+
+    def test_never_halts(self):
+        net = SyncNetwork(seed=1)
+        net.add_correct(1, ContinuousApproximateAgreement(0.0))
+        net.add_correct(2, ContinuousApproximateAgreement(1.0))
+        net.add_correct(3, ContinuousApproximateAgreement(2.0))
+        net.run(6, until_all_halted=False)
+        assert all(not p.halted for p in net.protocols().values())
+
+    def test_byzantine_injection_contained(self):
+        net = SyncNetwork(seed=2, rushing=True)
+        rng = make_rng(2)
+        ids = sparse_ids(9, rng)
+        inputs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+        for index, node_id in enumerate(ids[:7]):
+            net.add_correct(
+                node_id, ContinuousApproximateAgreement(inputs[index])
+            )
+        for node_id in ids[7:]:
+            net.add_byzantine(node_id, ValueInjectorStrategy(-1e9, 1e9))
+        net.run(8, until_all_halted=False)
+        finals = [p.estimate for p in net.protocols().values()]
+        assert all(1.0 <= v <= 7.0 for v in finals)
+
+
+class TestChurn:
+    def build(self, joiner_value, join_round, seed=3):
+        rng = make_rng(seed)
+        ids = sparse_ids(8, rng)
+        veterans, joiner = ids[:7], ids[7]
+        schedule = MembershipSchedule()
+        schedule.join(
+            join_round,
+            joiner,
+            lambda: ContinuousApproximateAgreement(joiner_value),
+        )
+        net = SyncNetwork(seed=seed, membership=schedule)
+        for index, node_id in enumerate(veterans):
+            net.add_correct(
+                node_id, ContinuousApproximateAgreement(float(index))
+            )
+        return net, veterans, joiner
+
+    def test_joiner_converges_to_the_group(self):
+        net, veterans, joiner = self.build(
+            joiner_value=3.0, join_round=6
+        )
+        net.run(16, until_all_halted=False)
+        group = [net.protocols()[n].estimate for n in veterans]
+        joined = net.protocols()[joiner].estimate
+        assert abs(joined - group[0]) < 0.05
+        assert max(group) - min(group) < 0.01
+
+    def test_outlier_joiner_widens_then_is_absorbed(self):
+        """The paper's caveat: a new input may increase the range — but
+        only until the next trimming round, because ``⌊n_v/3⌋`` per-side
+        trimming eats a lone outlier in one step."""
+        net, veterans, joiner = self.build(
+            joiner_value=1000.0, join_round=8
+        )
+        net.run(8, until_all_halted=False)
+        # at the join round the population's estimate range includes the
+        # newcomer's outlier:
+        group = [net.protocols()[n].estimate for n in veterans]
+        outlier = net.protocols()[joiner].estimate
+        assert outlier == 1000.0
+        assert abs(outlier - group[0]) > 900
+        # one mixing round later the outlier was trimmed on both sides:
+        net.run(2, until_all_halted=False)
+        finals = [
+            net.protocols()[n].estimate for n in [*veterans, joiner]
+        ]
+        assert max(finals) - min(finals) < 0.01
+
+    def test_enough_simultaneous_outliers_do_widen_veteran_estimates(self):
+        """With more simultaneous outlier joiners than the trim can
+        absorb, the veterans' own estimates move — the 'range may
+        increase' direction of the paper's remark."""
+        rng = make_rng(9)
+        ids = sparse_ids(11, rng)
+        veterans, joiners = ids[:7], ids[7:]
+        schedule = MembershipSchedule()
+        for joiner in joiners:
+            schedule.join(
+                6,
+                joiner,
+                lambda: ContinuousApproximateAgreement(1000.0),
+            )
+        net = SyncNetwork(seed=9, membership=schedule)
+        for index, node_id in enumerate(veterans):
+            net.add_correct(
+                node_id, ContinuousApproximateAgreement(float(index))
+            )
+        net.run(8, until_all_halted=False)
+        # n_v = 11, trim ⌊11/3⌋ = 3 per side < 4 joiners: one outlier
+        # survives trimming and drags the midpoint up.
+        moved = [net.protocols()[n].estimate for n in veterans]
+        assert max(moved) > 100.0
+
+    def test_leaver_does_not_disrupt(self):
+        rng = make_rng(4)
+        ids = sparse_ids(7, rng)
+        schedule = MembershipSchedule()
+        schedule.leave(5, ids[0])
+        net = SyncNetwork(seed=4, membership=schedule)
+        for index, node_id in enumerate(ids):
+            net.add_correct(
+                node_id, ContinuousApproximateAgreement(float(index))
+            )
+        net.run(14, until_all_halted=False)
+        survivors = [net.protocols()[n].estimate for n in ids[1:]]
+        assert max(survivors) - min(survivors) < 0.01
+        assert 0.0 <= min(survivors) <= max(survivors) <= 6.0

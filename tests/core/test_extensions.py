@@ -1,0 +1,214 @@
+"""Appendix extensions: terminating RB, renaming, binary king consensus."""
+
+import pytest
+
+from repro.adversary import (
+    EquivocatorStrategy,
+    MembershipLiarStrategy,
+    QuorumSplitterStrategy,
+    SilentStrategy,
+)
+from repro.adversary.base import ByzantineStrategy
+from repro.core.binary_consensus import BinaryKingConsensus
+from repro.core.renaming import ByzantineRenaming
+from repro.core.terminating_broadcast import (
+    NO_MESSAGE,
+    TerminatingReliableBroadcast,
+)
+
+from tests.conftest import predict_ids, run_quick
+
+
+class TestTerminatingReliableBroadcast:
+    def test_correct_sender_delivers(self):
+        correct_ids, _ = predict_ids(0, 7, 2)
+        sender = correct_ids[0]
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=0,
+            protocol_factory=lambda nid, i: TerminatingReliableBroadcast(
+                sender, "payload" if nid == sender else None
+            ),
+            strategy_factory=lambda nid, i: SilentStrategy(),
+        )
+        assert result.agreed
+        assert result.distinct_outputs == {"payload"}
+        protocol = result.protocols[result.correct_ids[1]]
+        assert protocol.delivered
+
+    def test_silent_byzantine_sender_agrees_on_silence(self):
+        _, byz_ids = predict_ids(1, 7, 2)
+        sender = byz_ids[0]
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=1,
+            protocol_factory=lambda nid, i: TerminatingReliableBroadcast(
+                sender, None
+            ),
+            strategy_factory=lambda nid, i: SilentStrategy(),
+        )
+        assert result.agreed
+        assert result.distinct_outputs == {NO_MESSAGE}
+        assert not result.protocols[result.correct_ids[0]].delivered
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_equivocating_sender_still_agrees(self, seed):
+        class SplitMessageSender(ByzantineStrategy):
+            def on_round(self, view):
+                sends = [self.broadcast("init")] if view.round == 1 else []
+                if view.round == 1:
+                    ordered = sorted(view.correct_nodes)
+                    half = len(ordered) // 2
+                    sends.extend(
+                        self.to(d, "msg", "left") for d in ordered[:half]
+                    )
+                    sends.extend(
+                        self.to(d, "msg", "right") for d in ordered[half:]
+                    )
+                return sends
+
+        _, byz_ids = predict_ids(seed, 7, 2)
+        sender = byz_ids[0]
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=seed,
+            rushing=True,
+            protocol_factory=lambda nid, i: TerminatingReliableBroadcast(
+                sender, None
+            ),
+            strategy_factory=lambda nid, i: SplitMessageSender(),
+        )
+        # agreement on *something*: one of the two messages or silence
+        assert result.agreed, result.outputs
+        assert result.distinct_outputs <= {"left", "right", NO_MESSAGE}
+
+    def test_terminates_in_of_rounds(self):
+        correct_ids, _ = predict_ids(2, 7, 2)
+        sender = correct_ids[0]
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=2,
+            protocol_factory=lambda nid, i: TerminatingReliableBroadcast(
+                sender, "x" if nid == sender else None
+            ),
+            strategy_factory=lambda nid, i: SilentStrategy(),
+        )
+        assert result.rounds <= 2 + 5 * 4  # comfortably O(f) phases
+
+
+class TestRenaming:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_assignment_identical_across_nodes(self, seed):
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=seed,
+            protocol_factory=lambda nid, i: ByzantineRenaming(),
+            strategy_factory=lambda nid, i: SilentStrategy(),
+            max_rounds=80,
+        )
+        assert result.agreed, result.outputs
+
+    def test_all_correct_ids_included(self):
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=0,
+            protocol_factory=lambda nid, i: ByzantineRenaming(),
+            strategy_factory=lambda nid, i: SilentStrategy(),
+            max_rounds=80,
+        )
+        (assignment,) = result.distinct_outputs
+        assert set(result.correct_ids) <= set(assignment)
+
+    def test_new_names_are_compact_ranks(self):
+        result = run_quick(
+            correct=5,
+            seed=1,
+            protocol_factory=lambda nid, i: ByzantineRenaming(),
+            max_rounds=60,
+        )
+        names = sorted(
+            result.protocols[n].new_name for n in result.correct_ids
+        )
+        assert names == [1, 2, 3, 4, 5]
+
+    def test_phantom_ids_do_not_split_assignment(self):
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=2,
+            rushing=True,
+            protocol_factory=lambda nid, i: ByzantineRenaming(),
+            strategy_factory=lambda nid, i: MembershipLiarStrategy(
+                phantoms=2
+            ),
+            max_rounds=120,
+        )
+        assert result.agreed, result.outputs
+
+    def test_terminates_within_of_bound(self):
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=3,
+            protocol_factory=lambda nid, i: ByzantineRenaming(),
+            strategy_factory=lambda nid, i: SilentStrategy(),
+            max_rounds=80,
+        )
+        # appendix: <= 4f + 3 main-loop rounds plus init and spread
+        assert result.rounds <= 2 + (4 * 2 + 3) + 4
+
+
+class TestBinaryKing:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agreement_mixed_inputs(self, seed):
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=seed,
+            rushing=True,
+            protocol_factory=lambda nid, i: BinaryKingConsensus(i % 2),
+            strategy_factory=lambda nid, i: QuorumSplitterStrategy(
+                BinaryKingConsensus(0)
+            ),
+            max_rounds=300,
+        )
+        assert result.agreed, result.outputs
+
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_validity_unanimous(self, value):
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=1,
+            rushing=True,
+            protocol_factory=lambda nid, i: BinaryKingConsensus(value),
+            strategy_factory=lambda nid, i: EquivocatorStrategy(
+                BinaryKingConsensus(1 - value)
+            ),
+            max_rounds=300,
+        )
+        assert result.agreed
+        assert result.distinct_outputs == {value}
+
+    def test_rejects_non_binary_input(self):
+        with pytest.raises(ValueError):
+            BinaryKingConsensus(2)
+
+    def test_terminates_via_rotor_in_linear_rounds(self):
+        result = run_quick(
+            correct=9,
+            byzantine=2,
+            seed=2,
+            protocol_factory=lambda nid, i: BinaryKingConsensus(i % 2),
+            strategy_factory=lambda nid, i: SilentStrategy(),
+            max_rounds=300,
+        )
+        n = 11
+        # rotor repeats after at most |C| + 1 <= n + 1 phases of 5 rounds
+        assert result.rounds <= 2 + 5 * (n + 2)

@@ -1,0 +1,89 @@
+"""Interactive consistency (the §12 composition)."""
+
+import pytest
+
+from repro.adversary import SilentStrategy
+from repro.adversary.base import ByzantineStrategy
+from repro.core.interactive_consistency import InteractiveConsistency
+
+from tests.conftest import run_quick
+
+
+class EquivocatingReporter(ByzantineStrategy):
+    """Reports value 'A' to half the network and 'B' to the rest, then
+    stays out of the consensus entirely."""
+
+    def on_round(self, view):
+        if view.round != 1:
+            return ()
+        ordered = sorted(view.all_nodes)
+        half = len(ordered) // 2
+        return [
+            *(self.to(d, "report", "A") for d in ordered[:half]),
+            *(self.to(d, "report", "B") for d in ordered[half:]),
+        ]
+
+
+class TestInteractiveConsistency:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_vectors_identical_and_complete(self, seed):
+        values = ["v0", "v1", "v2", "v3", "v4", "v5", "v6"]
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=seed,
+            protocol_factory=lambda nid, i: InteractiveConsistency(
+                values[i]
+            ),
+            strategy_factory=lambda nid, i: SilentStrategy(),
+        )
+        assert result.agreed, result.outputs
+        vector = result.protocols[result.correct_ids[0]].vector
+        # every correct node's value is present under its id
+        for index, node in enumerate(result.correct_ids):
+            assert vector[node] == values[index]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_equivocating_reporter_resolved_consistently(self, seed):
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=seed,
+            rushing=True,
+            protocol_factory=lambda nid, i: InteractiveConsistency(i),
+            strategy_factory=lambda nid, i: EquivocatingReporter(),
+        )
+        assert result.agreed, result.outputs
+        vector = result.protocols[result.correct_ids[0]].vector
+        for byz in result.byzantine_ids:
+            # either one agreed value or absent — same everywhere since
+            # result.agreed already held
+            assert vector.get(byz) in ("A", "B", None)
+        # all correct entries intact
+        for index, node in enumerate(result.correct_ids):
+            assert vector[node] == index
+
+    def test_silent_byzantine_absent_from_vector(self):
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=1,
+            protocol_factory=lambda nid, i: InteractiveConsistency(i),
+            strategy_factory=lambda nid, i: SilentStrategy(),
+        )
+        vector = result.protocols[result.correct_ids[0]].vector
+        assert set(vector) == set(result.correct_ids)
+
+    def test_terminates_in_of_rounds(self):
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=2,
+            protocol_factory=lambda nid, i: InteractiveConsistency(i),
+            strategy_factory=lambda nid, i: SilentStrategy(),
+        )
+        assert result.rounds <= 2 + 5 * 4
+
+    def test_vector_none_before_decision(self):
+        protocol = InteractiveConsistency(1)
+        assert protocol.vector is None

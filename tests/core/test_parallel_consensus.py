@@ -1,0 +1,218 @@
+"""Parallel consensus (Algorithm 5): validity, agreement, joining, ⊥."""
+
+import pytest
+
+from repro.adversary import (
+    QuorumSplitterStrategy,
+    RandomNoiseStrategy,
+    SilentStrategy,
+)
+from repro.adversary.base import ByzantineStrategy
+from repro.core.consensus import EarlyConsensus
+from repro.core.parallel_consensus import ParallelConsensus
+
+from tests.conftest import run_quick
+
+
+class TestValidity:
+    def test_common_input_pairs_are_output(self):
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=0,
+            protocol_factory=lambda nid, i: ParallelConsensus(
+                {"a": 10, "b": 20}
+            ),
+            strategy_factory=lambda nid, i: SilentStrategy(),
+        )
+        assert result.agreed
+        assert result.distinct_outputs == {(("a", 10), ("b", 20))}
+
+    def test_many_instances_in_parallel(self):
+        inputs = {f"id{k}": k for k in range(8)}
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=1,
+            protocol_factory=lambda nid, i: ParallelConsensus(inputs),
+            strategy_factory=lambda nid, i: SilentStrategy(),
+        )
+        assert result.agreed
+        (output,) = result.distinct_outputs
+        assert dict(output) == inputs
+
+    def test_parallel_instances_share_rounds(self):
+        # 8 instances must not take 8x the rounds of one.
+        single = run_quick(
+            correct=7,
+            protocol_factory=lambda nid, i: ParallelConsensus({"only": 1}),
+        )
+        many = run_quick(
+            correct=7,
+            protocol_factory=lambda nid, i: ParallelConsensus(
+                {f"id{k}": k for k in range(8)}
+            ),
+        )
+        assert many.rounds <= single.rounds + 5
+
+
+class TestPartialAwareness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_id_known_to_subset_still_agrees(self, seed):
+        # Only 3 of 7 correct nodes input the pair; the others must join
+        # and everyone must output the same set.
+        def factory(nid, i):
+            inputs = {"shared": 7} if i < 3 else {}
+            return ParallelConsensus(inputs)
+
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=seed,
+            protocol_factory=factory,
+            strategy_factory=lambda nid, i: SilentStrategy(),
+        )
+        assert result.agreed, result.outputs
+
+    def test_conflicting_values_for_same_id_resolved(self):
+        # Correct nodes disagree on the value for one id; agreement still
+        # requires a single common output (which may be either value or
+        # nothing).
+        def factory(nid, i):
+            return ParallelConsensus({"k": i % 2})
+
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=3,
+            rushing=True,
+            protocol_factory=factory,
+            strategy_factory=lambda nid, i: QuorumSplitterStrategy(
+                EarlyConsensus(0)
+            ),
+        )
+        assert result.agreed, result.outputs
+
+    def test_single_node_input_converges(self):
+        # A pair input at exactly one correct node: validity does not
+        # force an output, but agreement must hold either way.
+        def factory(nid, i):
+            return ParallelConsensus({"solo": 5} if i == 0 else {})
+
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=4,
+            protocol_factory=factory,
+            strategy_factory=lambda nid, i: SilentStrategy(),
+        )
+        assert result.agreed, result.outputs
+
+
+class TestByzantineInitiated:
+    class GhostInitiator(ByzantineStrategy):
+        """Initiates an instance no correct node has input."""
+
+        def __init__(self, kind: str, round_no: int):
+            self._kind = kind
+            self._round = round_no
+            self._announced = False
+
+        def on_round(self, view):
+            sends = []
+            if not self._announced:
+                self._announced = True
+                sends.append(self.broadcast("init"))
+            if view.round == self._round:
+                targets = sorted(view.correct_nodes)[:2]
+                sends.extend(
+                    self.to(t, self._kind, 99, instance="ghost")
+                    for t in targets
+                )
+            return sends
+
+    @pytest.mark.parametrize(
+        "kind,round_no",
+        [("input", 3), ("prefer", 4), ("strongprefer", 5)],
+        ids=["via-input", "via-prefer", "via-strongprefer"],
+    )
+    def test_ghost_instance_produces_no_output(self, kind, round_no):
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=5,
+            protocol_factory=lambda nid, i: ParallelConsensus(
+                {"real": 1}, linger_rounds=15
+            ),
+            strategy_factory=lambda nid, i: self.GhostInitiator(
+                kind, round_no
+            ),
+            max_rounds=300,
+        )
+        assert result.agreed, result.outputs
+        (output,) = result.distinct_outputs
+        assert dict(output) == {"real": 1}
+
+    def test_ghost_heard_in_second_phase_is_discarded(self):
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=6,
+            protocol_factory=lambda nid, i: ParallelConsensus(
+                {"real": 1}, linger_rounds=15
+            ),
+            strategy_factory=lambda nid, i: self.GhostInitiator(
+                "input", 11
+            ),
+            max_rounds=300,
+        )
+        assert result.agreed
+        (output,) = result.distinct_outputs
+        assert dict(output) == {"real": 1}
+
+
+class TestNoise:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_agreement_under_noise(self, seed):
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=seed,
+            rushing=True,
+            protocol_factory=lambda nid, i: ParallelConsensus(
+                {"a": 1, "b": 2}
+            ),
+            strategy_factory=lambda nid, i: RandomNoiseStrategy(rate=4),
+            max_rounds=400,
+        )
+        assert result.agreed, result.outputs
+
+
+class TestMachineInternals:
+    def test_results_track_bottom_outcomes(self):
+        def factory(nid, i):
+            return ParallelConsensus({"solo": 5} if i == 0 else {})
+
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=7,
+            protocol_factory=factory,
+            strategy_factory=lambda nid, i: SilentStrategy(),
+        )
+        # Every node records a terminal result for 'solo', with or
+        # without an output.
+        for node in result.correct_ids:
+            protocol = result.protocols[node]
+            assert "solo" in protocol.results
+
+    def test_output_pairs_sorted(self):
+        result = run_quick(
+            correct=4,
+            protocol_factory=lambda nid, i: ParallelConsensus(
+                {"z": 1, "a": 2, "m": 3}
+            ),
+        )
+        (output,) = result.distinct_outputs
+        ids = [pair[0] for pair in output]
+        assert ids == sorted(ids, key=repr)

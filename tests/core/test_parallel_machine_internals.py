@@ -1,0 +1,144 @@
+"""Unit tests for ParallelConsensusMachine internals.
+
+The integration tests cover end-to-end behaviour; these pin the
+machinery the total-ordering layer depends on: wire-tag namespacing,
+the phase cap, join-window arithmetic, and result bookkeeping.
+"""
+
+import pytest
+
+from repro.adversary import SilentStrategy
+from repro.core.parallel_consensus import (
+    ConsensusInstance,
+    ParallelConsensus,
+    ParallelConsensusMachine,
+)
+from repro.types import BOTTOM
+
+from tests.conftest import run_quick
+
+
+class TestNamespacing:
+    def test_bare_tags_without_base(self):
+        machine = ParallelConsensusMachine(start_round=1)
+        assert machine._wire_tag("x") == "x"
+        assert machine._inner_id("x") == "x"
+        assert machine._inner_id(None) is None
+
+    def test_tuple_tags_with_base(self):
+        machine = ParallelConsensusMachine(
+            start_round=1, base_tag=("to", 7)
+        )
+        assert machine._wire_tag("u1") == (("to", 7), "u1")
+        assert machine._inner_id((("to", 7), "u1")) == "u1"
+
+    def test_foreign_namespace_rejected(self):
+        machine = ParallelConsensusMachine(
+            start_round=1, base_tag=("to", 7)
+        )
+        assert machine._inner_id((("to", 8), "u1")) is None
+        assert machine._inner_id("bare") is None
+        assert machine._inner_id(("to", 7)) is None
+
+    def test_two_machines_do_not_cross_talk(self):
+        a = ParallelConsensusMachine(start_round=1, base_tag=("to", 1))
+        b = ParallelConsensusMachine(start_round=1, base_tag=("to", 2))
+        assert a._inner_id(b._wire_tag("u")) is None
+
+
+class TestPhaseCap:
+    def test_cap_formula(self):
+        machine = ParallelConsensusMachine(
+            start_round=1, membership=frozenset(range(9))
+        )
+        assert machine.phase_cap == 9 // 2 + 3
+
+    def test_cap_exceeds_legitimate_phase_budget(self):
+        # legitimate instances need <= f + 2 phases; f < n_v/2
+        for n_v in range(4, 40):
+            f_max = (n_v - 1) // 3
+            assert n_v // 2 + 3 > f_max + 2
+
+    def test_cap_fires_and_retires_instance(self):
+        from repro.sim.inbox import Inbox
+        from repro.sim.message import Outbox
+        from repro.sim.node import NodeApi
+
+        instance = ConsensusInstance("ghost", start_round=3, value=BOTTOM)
+        membership = frozenset(range(5))
+        api = NodeApi(
+            node_id=0,
+            round_no=3,
+            known_contacts=membership,
+            outbox=Outbox(),
+        )
+        # march the instance through empty rounds until past the cap
+        round_no = 3
+        for _ in range(200):
+            api = NodeApi(
+                node_id=0,
+                round_no=round_no,
+                known_contacts=membership,
+                outbox=Outbox(),
+            )
+            instance.on_round(
+                api, Inbox(), membership, 5, [0, 1, 2], phase_cap=4
+            )
+            if instance.terminated:
+                break
+            round_no += 1
+        assert instance.terminated
+        assert not instance.result.has_output
+
+
+class TestWindowsAndResults:
+    def test_join_window_arithmetic(self):
+        machine = ParallelConsensusMachine(start_round=10)
+        assert not machine.join_window_closed(17)
+        assert machine.join_window_closed(18)
+
+    def test_idle_transitions(self):
+        machine = ParallelConsensusMachine(start_round=1)
+        assert machine.idle()
+        machine.submit("x", 1)
+        assert not machine.idle()
+
+    def test_results_include_bottom_and_outputs(self):
+        result = run_quick(
+            correct=4,
+            seed=2,
+            protocol_factory=lambda nid, i: ParallelConsensus(
+                {"real": 5} if i == 0 else {}
+            ),
+        )
+        protocol = result.protocols[result.correct_ids[1]]
+        assert "real" in protocol.results
+        terminal = protocol.results["real"]
+        # agreement: the pair was input at only one node, so whichever
+        # way it went, every node's terminal record matches
+        for node in result.correct_ids:
+            other = result.protocols[node].results["real"]
+            assert other.has_output == terminal.has_output
+
+    def test_resubmitting_finished_instance_is_ignored(self):
+        result = run_quick(
+            correct=4,
+            seed=3,
+            protocol_factory=lambda nid, i: ParallelConsensus({"k": 1}),
+        )
+        protocol = result.protocols[result.correct_ids[0]]
+        machine = protocol.machine
+        machine.submit("k", 99)
+        machine._start_pending(_FakeApi())
+        assert "k" not in machine.instances  # already in results
+
+
+class _FakeApi:
+    node_id = 0
+    round = 50
+
+    def emit(self, *args, **kwargs):
+        pass
+
+    def broadcast(self, *args, **kwargs):
+        pass

@@ -1,0 +1,143 @@
+"""The everyone-to-everyone reliable broadcast channel."""
+
+import pytest
+
+from repro.adversary import EchoForgerStrategy, SilentStrategy
+from repro.adversary.base import ByzantineStrategy
+from repro.core.reliable_channel import ReliableChannel
+
+from tests.conftest import predict_ids, run_quick
+
+
+def channel_run(
+    correct=7,
+    byzantine=2,
+    seed=0,
+    messages_per_node=2,
+    rounds=12,
+    strategy_factory=None,
+    rushing=False,
+):
+    def factory(nid, i):
+        return ReliableChannel(
+            [f"m{i}-{k}" for k in range(messages_per_node)]
+        )
+
+    return run_quick(
+        correct=correct,
+        byzantine=byzantine,
+        seed=seed,
+        rushing=rushing,
+        protocol_factory=factory,
+        strategy_factory=strategy_factory
+        or (lambda nid, i: SilentStrategy()),
+        max_rounds=rounds,
+        until_all_halted=False,
+    )
+
+
+class TestDelivery:
+    def test_every_slot_delivered_everywhere(self):
+        result = channel_run()
+        for node in result.correct_ids:
+            channel = result.protocols[node]
+            for index, origin in enumerate(result.correct_ids):
+                assert channel.stream_from(origin) == [
+                    f"m{index}-0",
+                    f"m{index}-1",
+                ]
+
+    def test_streams_identical_across_nodes(self):
+        result = channel_run(seed=1)
+        reference = result.protocols[result.correct_ids[0]]
+        for node in result.correct_ids[1:]:
+            channel = result.protocols[node]
+            for origin in result.correct_ids:
+                assert channel.stream_from(origin) == (
+                    reference.stream_from(origin)
+                )
+
+    def test_acceptance_latency_two_rounds(self):
+        result = channel_run(seed=2, messages_per_node=1)
+        for node in result.correct_ids:
+            channel = result.protocols[node]
+            for origin in result.correct_ids:
+                _payload, accepted_at = channel.delivered[(origin, 0)]
+                # slot broadcast in round 1 -> accepted in round 3
+                assert accepted_at == 3
+
+    def test_late_sends_also_delivered(self):
+        result = channel_run(seed=3, messages_per_node=0, rounds=4)
+        network = result.network
+        sender = result.correct_ids[0]
+        result.protocols[sender].send("late-news")
+        network.run(6, until_all_halted=False)
+        for node in result.correct_ids:
+            assert result.protocols[node].stream_from(sender) == [
+                "late-news"
+            ]
+
+    def test_stream_stops_at_gap(self):
+        channel = ReliableChannel()
+        channel.delivered[(9, 0)] = ("a", 3)
+        channel.delivered[(9, 2)] = ("c", 5)  # seq 1 missing
+        assert channel.stream_from(9) == ["a"]
+
+
+class TestByzantineSenders:
+    class SplitSlotSender(ByzantineStrategy):
+        """Sends slot 0 with payload 'L' to half, 'R' to the rest."""
+
+        def __init__(self):
+            self._done = False
+
+        def on_round(self, view):
+            sends = []
+            if view.round == 1:
+                sends.append(self.broadcast("present"))
+            if view.round == 2 and not self._done:
+                self._done = True
+                ordered = sorted(view.correct_nodes)
+                half = len(ordered) // 2
+                sends.extend(
+                    self.to(d, "slot", (0, "L")) for d in ordered[:half]
+                )
+                sends.extend(
+                    self.to(d, "slot", (0, "R")) for d in ordered[half:]
+                )
+            return sends
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_equivocated_slot_all_or_nothing(self, seed):
+        result = channel_run(
+            seed=seed,
+            strategy_factory=lambda nid, i: self.SplitSlotSender(),
+            rushing=True,
+        )
+        byz = result.byzantine_ids[0]
+        for payload in ("L", "R"):
+            acceptors = [
+                n
+                for n in result.correct_ids
+                if any(
+                    key[0] == byz and value[0] == payload
+                    for key, value in result.protocols[n].delivered.items()
+                )
+            ]
+            assert acceptors == [] or len(acceptors) == len(
+                result.correct_ids
+            ), (payload, acceptors)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_forged_echoes_ineffective(self, seed):
+        correct_ids, _ = predict_ids(seed, 7, 2)
+        victim = correct_ids[0]
+        result = channel_run(
+            seed=seed,
+            strategy_factory=lambda nid, i: EchoForgerStrategy(
+                forged_payload=(victim, 99, "forged")
+            ),
+            rushing=True,
+        )
+        for node in result.correct_ids:
+            assert (victim, 99) not in result.protocols[node].delivered

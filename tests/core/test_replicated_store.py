@@ -1,0 +1,116 @@
+"""The replicated key-value store (SMR on Algorithm 6)."""
+
+import pytest
+
+from repro.adversary import SilentStrategy
+from repro.core.replicated_store import ReplicatedKVStore
+from repro.sim.membership import MembershipSchedule
+from repro.sim.network import SyncNetwork
+from repro.sim.rng import make_rng, sparse_ids
+
+
+def cluster(replicas=5, byzantine=1, seed=0, joiner_round=None):
+    rng = make_rng(seed)
+    total = replicas + byzantine + (1 if joiner_round else 0)
+    ids = sparse_ids(total, rng)
+    replica_ids = ids[:replicas]
+    byz_ids = ids[replicas: replicas + byzantine]
+
+    membership = MembershipSchedule()
+    joiner_id = None
+    if joiner_round:
+        joiner_id = ids[-1]
+        membership.join(
+            joiner_round, joiner_id, lambda: ReplicatedKVStore(seed=False)
+        )
+
+    net = SyncNetwork(seed=seed, membership=membership)
+    stores = {}
+    for node_id in replica_ids:
+        store = ReplicatedKVStore()
+        stores[node_id] = store
+        net.add_correct(node_id, store)
+    for node_id in byz_ids:
+        net.add_byzantine(node_id, SilentStrategy())
+    return net, stores, joiner_id
+
+
+class TestBasicReplication:
+    def test_write_visible_everywhere(self):
+        net, stores, _ = cluster()
+        writer = next(iter(stores.values()))
+        writer.submit_set("color", "blue")
+        net.run(40, until_all_halted=False)
+        for store in stores.values():
+            assert store.get("color") == "blue"
+
+    def test_states_identical(self):
+        net, stores, _ = cluster()
+        for index, store in enumerate(stores.values()):
+            store.submit_set(f"k{index}", index)
+        net.run(45, until_all_halted=False)
+        states = [store.state for store in stores.values()]
+        assert all(state == states[0] for state in states)
+        assert len(states[0]) == 5
+
+    def test_delete(self):
+        net, stores, _ = cluster()
+        writer = next(iter(stores.values()))
+        writer.submit_set("temp", 1)
+        writer.submit_delete("temp")
+        net.run(45, until_all_halted=False)
+        for store in stores.values():
+            assert store.get("temp") is None
+
+    def test_get_default(self):
+        store = ReplicatedKVStore()
+        assert store.get("missing", "fallback") == "fallback"
+
+
+class TestConflictResolution:
+    def test_concurrent_writes_resolve_identically(self):
+        net, stores, _ = cluster(seed=3)
+        # every replica writes the same key in the same round
+        for index, store in enumerate(stores.values()):
+            store.submit_set("winner", index)
+        net.run(45, until_all_halted=False)
+        values = {store.get("winner") for store in stores.values()}
+        assert len(values) == 1  # one deterministic winner everywhere
+
+    def test_applied_logs_identical(self):
+        net, stores, _ = cluster(seed=4)
+        items = list(stores.values())
+        items[0].submit_set("a", 1)
+        items[1].submit_set("b", 2)
+        items[2].submit_set("a", 3)
+        net.run(45, until_all_halted=False)
+        logs = [store.applied_log for store in stores.values()]
+        assert all(log == logs[0] for log in logs)
+        assert len(logs[0]) == 3
+
+
+class TestDynamicCluster:
+    def test_joiner_catches_up_with_future_state(self):
+        net, stores, joiner_id = cluster(seed=5, joiner_round=12)
+        # let the joiner complete its handshake first, then write
+        net.run(18, until_all_halted=False)
+        writer = next(iter(stores.values()))
+        for step in range(6):
+            writer.submit_set(f"key{step}", step)
+        net.run(62, until_all_halted=False)
+        joiner = net.protocols()[joiner_id]
+        veteran = next(iter(stores.values()))
+        # the joiner's state is a (possibly earlier) snapshot of the
+        # veteran's history; everything it has matches
+        for key, value in joiner.state.items():
+            assert veteran.state[key] == value
+        assert joiner.state, "joiner never applied anything"
+
+    def test_joiner_writes_accepted(self):
+        net, stores, joiner_id = cluster(seed=6, joiner_round=10)
+        net.run(25, until_all_halted=False)
+        joiner = net.protocols()[joiner_id]
+        joiner.submit_set("from-joiner", 99)
+        net.run(40, until_all_halted=False)
+        for store in stores.values():
+            assert store.get("from-joiner") == 99

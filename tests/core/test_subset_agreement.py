@@ -1,0 +1,41 @@
+"""The §12 remark: approximate agreement with only a subset of nodes.
+
+"Consider a set of nodes that are in approximate agreement with each
+other already and a new node joins.  Then, the new node can execute
+[Algorithm 4] only with a subset of nodes to get closer to the value of
+most of the nodes."  Because the algorithm is already parameter-free,
+'with a subset' just means counting values from fewer peers — n_v is
+whatever you heard, so nothing needs reconfiguration.
+"""
+
+from repro.core.approx_agreement import trim_and_midpoint
+
+
+class TestSubsetConvergence:
+    def test_newcomer_converges_using_any_subset(self):
+        cluster_value = 10.0
+        cluster = [cluster_value + d for d in (-0.1, 0.0, 0.1, -0.05, 0.05,
+                                               0.02, -0.02)]
+        newcomer = 500.0
+        for subset_size in (3, 4, 5, 7):
+            subset = cluster[:subset_size]
+            # the newcomer computes Algorithm 4's round over just the
+            # subset's values plus its own
+            moved = trim_and_midpoint(subset + [newcomer])
+            assert abs(moved - cluster_value) < abs(
+                newcomer - cluster_value
+            ) / 2, (subset_size, moved)
+
+    def test_subset_with_a_byzantine_member_still_converges(self):
+        cluster = [10.0, 10.1, 9.9, 10.05]
+        byzantine_value = -1e9
+        moved = trim_and_midpoint(cluster + [byzantine_value, 500.0])
+        # floor(6/3) = 2 trimmed per side: both outliers gone
+        assert 9.9 <= moved <= 10.1
+
+    def test_iterating_on_subsets_reaches_the_cluster(self):
+        cluster = [10.0] * 5
+        estimate = 800.0
+        for _ in range(12):
+            estimate = trim_and_midpoint(cluster[:3] + [estimate])
+        assert abs(estimate - 10.0) < 0.5

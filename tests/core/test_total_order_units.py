@@ -1,0 +1,79 @@
+"""Unit tests for total-order helpers and lifecycle flags."""
+
+import pytest
+
+from repro.adversary import SilentStrategy
+from repro.core.total_order import TotalOrderNode, events_from_dict
+from repro.sim.network import SyncNetwork
+from repro.sim.rng import make_rng, sparse_ids
+
+
+class TestEventsFromDict:
+    def test_lookup(self):
+        source = events_from_dict({3: "a", 7: "b"})
+        assert source(3) == "a"
+        assert source(7) == "b"
+        assert source(4) is None
+
+    def test_empty_plan(self):
+        source = events_from_dict({})
+        assert source(1) is None
+
+
+class TestLifecycle:
+    def build(self, count=5, seed=0):
+        rng = make_rng(seed)
+        ids = sparse_ids(count, rng)
+        net = SyncNetwork(seed=seed)
+        nodes = {}
+        for node_id in ids:
+            node = TotalOrderNode()
+            nodes[node_id] = node
+            net.add_correct(node_id, node)
+        return net, nodes
+
+    def test_request_leave_flag_triggers_departure(self):
+        net, nodes = self.build()
+        net.run(10, until_all_halted=False)
+        leaver_id, leaver = next(iter(nodes.items()))
+        leaver.request_leave()
+        net.run(25, until_all_halted=False)
+        assert leaver.halted
+        survivors = [n for nid, n in nodes.items() if nid != leaver_id]
+        assert all(leaver_id not in s.participants for s in survivors)
+
+    def test_seed_bootstrap_counts_everyone(self):
+        net, nodes = self.build(count=6)
+        net.run(4, until_all_halted=False)
+        for node in nodes.values():
+            assert node.joined
+            assert len(node.participants) == 6
+
+    def test_local_rounds_aligned(self):
+        net, nodes = self.build()
+        net.run(12, until_all_halted=False)
+        locals_ = {node.local_round for node in nodes.values()}
+        assert len(locals_) == 1
+
+    def test_default_event_source_is_silent(self):
+        net, nodes = self.build()
+        net.run(30, until_all_halted=False)
+        for node in nodes.values():
+            assert node.chain == []
+
+    def test_events_stamped_with_local_round(self):
+        rng = make_rng(3)
+        ids = sparse_ids(4, rng)
+        net = SyncNetwork(seed=3)
+        nodes = {}
+        for node_id in ids:
+            node = TotalOrderNode(
+                event_source=events_from_dict({4: "only-event"})
+            )
+            nodes[node_id] = node
+            net.add_correct(node_id, node)
+        net.run(45, until_all_halted=False)
+        chain = next(iter(nodes.values())).chain
+        # events witnessed at local round 4 are collected at round 5
+        assert chain and all(entry[0] == 5 for entry in chain)
+        assert len(chain) == 4

@@ -1,0 +1,49 @@
+"""Every example must run clean — examples rot unless executed.
+
+Each example asserts its own claims internally (they all end with
+assertions); these tests only need exit code 0 and a recognisable line
+of output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": "Agreement reached",
+    "sensor_fusion.py": "All correct sensors agree",
+    "dynamic_ledger.py": "chain-prefix holds",
+    "elastic_cluster.py": "every correct machine computed the same",
+    "replicated_kv.py": "identical state",
+    "impossibility_demo.py": "disagreement:       True",
+    "custom_protocol.py": "certified the honest statement",
+    "net_cluster.py": "real sockets",
+}
+
+
+@pytest.mark.parametrize("example,marker", sorted(CASES.items()))
+def test_example_runs_clean(example, marker):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / example)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert marker in completed.stdout, (
+        f"expected {marker!r} in output:\n{completed.stdout[-2000:]}"
+    )
+
+
+def test_every_example_is_covered():
+    on_disk = {
+        path.name
+        for path in EXAMPLES.glob("*.py")
+    }
+    assert on_disk == set(CASES), (
+        "examples and test cases drifted apart"
+    )

@@ -1,0 +1,50 @@
+"""Golden-recording regression tests.
+
+A committed JSONL recording pins every delivery of a reference run; if
+a refactor changes *any* wire behaviour — message order, payload shape,
+round counts, outputs — this test names the first diverging delivery.
+Intentional behaviour changes must regenerate the golden file (see the
+module docstring of :mod:`repro.sim.replay`) and document themselves in
+DESIGN.md.
+"""
+
+import pathlib
+
+from repro.adversary import QuorumSplitterStrategy
+from repro.core.consensus import EarlyConsensus
+from repro.sim.replay import RunRecording, verify_replay
+from repro.sim.runner import Scenario
+
+DATA = pathlib.Path(__file__).parent.parent / "data"
+
+
+def golden_scenario():
+    return Scenario(
+        correct=5,
+        byzantine=1,
+        protocol_factory=lambda nid, i: EarlyConsensus(i % 2),
+        strategy_factory=lambda nid, i: QuorumSplitterStrategy(
+            EarlyConsensus(0)
+        ),
+        seed=5,
+        rushing=True,
+        max_rounds=100,
+    )
+
+
+class TestGoldenConsensus:
+    def test_current_code_reproduces_the_golden_run(self):
+        recording = RunRecording.load(
+            DATA / "golden_consensus_seed5.jsonl"
+        )
+        differences = verify_replay(golden_scenario(), recording)
+        assert differences == [], "\n".join(differences)
+
+    def test_golden_run_has_expected_shape(self):
+        recording = RunRecording.load(
+            DATA / "golden_consensus_seed5.jsonl"
+        )
+        assert recording.rounds == 12  # 2 init + 2 phases
+        assert len(recording.outputs) == 5
+        assert len(set(recording.outputs.values())) == 1
+        assert len(recording.deliveries) == 642

@@ -1,0 +1,99 @@
+"""Unit tests for the lock-step runner (no real time dependence where
+avoidable: the peer is real but local, the periods are tiny)."""
+
+import time
+
+from repro.core import EarlyConsensus
+from repro.net import LockstepRunner, NetPeer
+from repro.sim.inbox import Inbox
+from repro.sim.node import NodeApi, Protocol
+
+
+class EchoProtocol(Protocol):
+    def __init__(self):
+        super().__init__()
+        self.rounds_seen = []
+        self.heard = []
+
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        self.rounds_seen.append(api.round)
+        self.heard.extend(
+            (m.sender, m.kind, m.payload) for m in inbox
+        )
+        api.broadcast("beat", api.round)
+        if api.round >= 4:
+            self.decide(api, "done")
+
+
+class TestLockstepRunner:
+    def run_single(self, protocol, period=0.01, max_rounds=10):
+        peer = NetPeer(7)
+        peer.start([peer.address])
+        runner = LockstepRunner(
+            peer, protocol, period=period, max_rounds=max_rounds
+        )
+        try:
+            runner.run(time.monotonic())
+        finally:
+            peer.stop()
+        return runner
+
+    def test_rounds_advance_and_stop_on_halt(self):
+        protocol = EchoProtocol()
+        runner = self.run_single(protocol)
+        assert protocol.rounds_seen == [1, 2, 3, 4]
+        assert protocol.output == "done"
+
+    def test_self_delivery_with_one_round_latency(self):
+        protocol = EchoProtocol()
+        self.run_single(protocol)
+        # round-1 beat heard in round 2, etc.
+        beats = [p for _s, kind, p in protocol.heard if kind == "beat"]
+        assert beats == [1, 2, 3]
+
+    def test_max_rounds_cap(self):
+        class Forever(Protocol):
+            def __init__(self):
+                super().__init__()
+                self.count = 0
+
+            def on_round(self, api, inbox):
+                self.count += 1
+
+        protocol = Forever()
+        self.run_single(protocol, max_rounds=6)
+        assert protocol.count == 6
+
+    def test_contacts_accumulate(self):
+        peer_a, peer_b = NetPeer(1), NetPeer(2)
+        book = [peer_a.address, peer_b.address]
+        peer_a.start(book)
+        peer_b.start(book)
+        a = LockstepRunner(peer_a, EchoProtocol(), period=0.02,
+                           max_rounds=5)
+        b = LockstepRunner(peer_b, EchoProtocol(), period=0.02,
+                           max_rounds=5)
+        start = time.monotonic() + 0.05
+        a.start(start)
+        b.start(start)
+        a.join(5)
+        b.join(5)
+        peer_a.stop()
+        peer_b.stop()
+        assert {1, 2} <= a.contacts
+        assert {1, 2} <= b.contacts
+
+    def test_duplicate_frames_collapsed(self):
+        peer = NetPeer(3)
+        peer.start([peer.address])
+        protocol = EchoProtocol()
+        runner = LockstepRunner(peer, protocol, period=0.01, max_rounds=3)
+        # inject the same frame twice for round 0 before starting
+        for _ in range(2):
+            peer.send_to(3, 0, "dup", "x")
+        try:
+            runner.run(time.monotonic())
+        finally:
+            peer.stop()
+        dups = [h for h in protocol.heard if h[1] == "dup"]
+        assert len(dups) == 1

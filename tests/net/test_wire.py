@@ -1,0 +1,100 @@
+"""Tests for the wire codec and framing."""
+
+import io
+import socket
+
+import pytest
+
+from repro.errors import ProtocolViolation
+from repro.net.wire import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    decode_value,
+    encode_frame,
+    encode_value,
+)
+from repro.types import BOTTOM
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            0,
+            1,
+            -7,
+            3.25,
+            "text",
+            True,
+            ("m", 42),
+            (1, (2, (3, None))),
+            ("nested", ("⊥-ish", -1.5)),
+            frozenset({1, 2, 3}),
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_bottom_roundtrip_preserves_identity(self):
+        assert decode_value(encode_value(BOTTOM)) is BOTTOM
+
+    def test_tuple_inside_frozenset(self):
+        value = frozenset({(1, "a"), (2, "b")})
+        assert decode_value(encode_value(value)) == value
+
+    def test_rejects_lists(self):
+        with pytest.raises(ProtocolViolation):
+            encode_value([1, 2])
+
+    def test_rejects_dicts(self):
+        with pytest.raises(ProtocolViolation):
+            encode_value({"k": 1})
+
+    def test_decoded_tuples_are_hashable(self):
+        decoded = decode_value(encode_value((1, (2, 3))))
+        assert hash(decoded) == hash((1, (2, 3)))
+
+
+class TestFrames:
+    def test_frame_roundtrip(self):
+        frame = encode_frame(7, 42, "prefer", ("x", 1), instance=("to", 3))
+        parsed = decode_frame(frame[4:])
+        assert parsed == {
+            "round": 7,
+            "sender": 42,
+            "kind": "prefer",
+            "payload": ("x", 1),
+            "instance": ("to", 3),
+        }
+
+    def test_defaults(self):
+        parsed = decode_frame(encode_frame(1, 2, "init")[4:])
+        assert parsed["payload"] is None
+        assert parsed["instance"] is None
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ValueError):
+            decode_frame(b'{"round": 1}')
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            decode_frame(b"[1,2]")
+
+    def test_oversized_frame_rejected_at_encode(self):
+        with pytest.raises(ProtocolViolation):
+            encode_frame(1, 2, "big", "x" * (MAX_FRAME_BYTES + 10))
+
+    def test_read_frame_over_socketpair(self):
+        from repro.net.wire import read_frame
+
+        a, b = socket.socketpair()
+        try:
+            a.sendall(encode_frame(3, 9, "echo", 123))
+            parsed = read_frame(b)
+            assert parsed["round"] == 3
+            assert parsed["payload"] == 123
+            a.close()
+            assert read_frame(b) is None  # clean EOF
+        finally:
+            b.close()

@@ -1,0 +1,85 @@
+"""Property-based tests for the trim-and-midpoint operator (Lemmas
+aaWithin and aaMed as universally quantified statements)."""
+
+from hypothesis import assume, given, strategies as st
+
+from repro.core.approx_agreement import trim_and_midpoint
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def correct_and_byzantine(draw_correct, draw_byz):
+    """Strategy pair: (correct values, byzantine values) with n > 3f."""
+    return st.tuples(draw_correct, draw_byz).filter(
+        lambda pair: len(pair[0]) + len(pair[1]) > 3 * len(pair[1])
+        and len(pair[0]) > 0
+    )
+
+
+values_with_failures = correct_and_byzantine(
+    st.lists(finite_floats, min_size=1, max_size=40),
+    st.lists(finite_floats, min_size=0, max_size=12),
+)
+
+
+class TestTrimMidpointProperties:
+    @given(pair=values_with_failures)
+    def test_output_within_correct_range(self, pair):
+        """Lemma aaWithin: o_v ∈ [i_min, i_max] whatever f values the
+        adversary injects, as long as n_v > 3 f_v."""
+        correct, byzantine = pair
+        output = trim_and_midpoint(correct + byzantine)
+        assert min(correct) - 1e-9 <= output <= max(correct) + 1e-9
+
+    @given(pair=values_with_failures)
+    def test_median_of_correct_survives(self, pair):
+        """Lemma aaMed: the correct median is never trimmed."""
+        correct, byzantine = pair
+        values = sorted(correct + byzantine)
+        trim = len(values) // 3
+        survivors = values[trim: len(values) - trim]
+        ordered = sorted(correct)
+        median = ordered[len(ordered) // 2]
+        assert survivors[0] - 1e-9 <= median <= survivors[-1] + 1e-9
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=60))
+    def test_output_within_all_values(self, values):
+        output = trim_and_midpoint(values)
+        assert min(values) - 1e-9 <= output <= max(values) + 1e-9
+
+    @given(
+        values=st.lists(finite_floats, min_size=1, max_size=60),
+        shift=finite_floats,
+    )
+    def test_translation_equivariance(self, values, shift):
+        base = trim_and_midpoint(values)
+        shifted = trim_and_midpoint([v + shift for v in values])
+        assert abs(shifted - (base + shift)) <= 1e-6 * max(
+            1.0, abs(base), abs(shift)
+        )
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=60))
+    def test_permutation_invariance(self, values):
+        assert trim_and_midpoint(values) == trim_and_midpoint(
+            list(reversed(values))
+        )
+
+    @given(value=finite_floats, n=st.integers(min_value=1, max_value=50))
+    def test_agreement_on_identical_values(self, value, n):
+        assert trim_and_midpoint([value] * n) == value
+
+    @given(pair=values_with_failures)
+    def test_two_nodes_with_disjoint_byzantine_views_halve_the_range(
+        self, pair
+    ):
+        """The halving argument: any two outputs computed from the same
+        correct values but *different* Byzantine injections lie within
+        half the correct range of each other."""
+        correct, byzantine = pair
+        assume(len(correct) + len(byzantine) > 3 * len(byzantine))
+        out_a = trim_and_midpoint(correct + byzantine)
+        out_b = trim_and_midpoint(correct + [-v for v in byzantine])
+        input_range = max(correct) - min(correct)
+        assert abs(out_a - out_b) <= input_range / 2 + 1e-6

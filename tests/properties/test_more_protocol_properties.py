@@ -1,0 +1,138 @@
+"""Property-based tests: renaming, binary king, parallel consensus.
+
+Randomized populations, inputs, seeds, and adversaries; the guarantees
+must hold on every draw.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.adversary import (
+    MembershipLiarStrategy,
+    QuorumSplitterStrategy,
+    SilentStrategy,
+)
+from repro.core.binary_consensus import BinaryKingConsensus
+from repro.core.parallel_consensus import ParallelConsensus
+from repro.core.renaming import ByzantineRenaming
+
+from tests.conftest import run_quick
+
+fast = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestRenamingProperties:
+    @fast
+    @given(
+        correct=st.integers(min_value=3, max_value=10),
+        f=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=10**6),
+        liar=st.booleans(),
+    )
+    def test_assignment_properties(self, correct, f, seed, liar):
+        if not correct + f > 3 * f:
+            f = (correct - 1) // 2  # keep g > 2f
+        result = run_quick(
+            correct=correct,
+            byzantine=f,
+            seed=seed,
+            rushing=True,
+            protocol_factory=lambda nid, i: ByzantineRenaming(),
+            strategy_factory=(
+                lambda nid, i: MembershipLiarStrategy()
+                if liar
+                else SilentStrategy()
+            )
+            if f
+            else None,
+            max_rounds=4 * max(f, 1) + 40,
+        )
+        assert result.agreed
+        (assignment,) = result.distinct_outputs
+        # every correct id present, assignment sorted and duplicate-free
+        assert set(result.correct_ids) <= set(assignment)
+        assert list(assignment) == sorted(set(assignment))
+        # ranks are a permutation of 1..k over the correct nodes' names
+        names = [
+            result.protocols[n].new_name for n in result.correct_ids
+        ]
+        assert len(set(names)) == len(names)
+        assert all(1 <= name <= len(assignment) for name in names)
+
+
+class TestBinaryKingProperties:
+    @fast
+    @given(
+        inputs=st.lists(
+            st.integers(min_value=0, max_value=1), min_size=4, max_size=9
+        ),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_agreement_validity(self, inputs, seed):
+        correct = len(inputs)
+        f = (correct - 1) // 3
+        result = run_quick(
+            correct=correct,
+            byzantine=f,
+            seed=seed,
+            rushing=True,
+            protocol_factory=lambda nid, i: BinaryKingConsensus(inputs[i]),
+            strategy_factory=(
+                lambda nid, i: QuorumSplitterStrategy(
+                    BinaryKingConsensus(0)
+                )
+            )
+            if f
+            else None,
+            max_rounds=2 + 5 * (correct + f + 4),
+        )
+        assert result.agreed
+        (value,) = result.distinct_outputs
+        assert value in set(inputs)
+
+
+class TestParallelConsensusProperties:
+    @fast
+    @given(
+        ids=st.lists(
+            st.text(
+                alphabet="abcdef", min_size=1, max_size=3
+            ),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        ),
+        values=st.lists(
+            st.integers(min_value=0, max_value=9), min_size=5, max_size=5
+        ),
+        awareness_mask=st.integers(min_value=1, max_value=127),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_agreement_and_validity(self, ids, values, awareness_mask, seed):
+        def factory(nid, i):
+            inputs = {}
+            for k, instance_id in enumerate(ids):
+                # validity-relevant ids are held by everyone; others by
+                # the mask-selected subset
+                if k == 0 or (awareness_mask >> (i % 7)) & 1:
+                    inputs[instance_id] = values[k % len(values)]
+            return ParallelConsensus(inputs)
+
+        result = run_quick(
+            correct=7,
+            byzantine=2,
+            seed=seed,
+            protocol_factory=factory,
+            strategy_factory=lambda nid, i: SilentStrategy(),
+            max_rounds=400,
+        )
+        assert result.agreed
+        (output,) = result.distinct_outputs
+        output_map = dict(output)
+        # validity: the universally-held pair must be in the output
+        assert output_map.get(ids[0]) == values[0]
+        # outputs only carry ids someone actually input
+        assert set(output_map) <= set(ids)

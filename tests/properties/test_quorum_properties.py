@@ -1,0 +1,125 @@
+"""Property-based tests for the threshold arithmetic (hypothesis).
+
+These encode the paper's core counting lemmas as universally quantified
+statements over the integer parameters.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, strategies as st
+
+from repro.core.quorum import (
+    EchoVoting,
+    at_least_third,
+    at_least_two_thirds,
+)
+
+
+counts = st.integers(min_value=0, max_value=200)
+populations = st.integers(min_value=0, max_value=200)
+
+
+class TestThresholdProperties:
+    @given(count=counts, n=populations)
+    def test_matches_exact_rational_semantics(self, count, n):
+        assert at_least_third(count, n) == (
+            count > 0 and Fraction(count) >= Fraction(n, 3)
+        )
+        assert at_least_two_thirds(count, n) == (
+            count > 0 and Fraction(count) >= Fraction(2 * n, 3)
+        )
+
+    @given(count=counts, n=populations)
+    def test_two_thirds_implies_one_third(self, count, n):
+        if at_least_two_thirds(count, n):
+            assert at_least_third(count, n)
+
+    @given(count=counts, n=populations)
+    def test_monotone_in_count(self, count, n):
+        if at_least_third(count, n):
+            assert at_least_third(count + 1, n)
+        if at_least_two_thirds(count, n):
+            assert at_least_two_thirds(count + 1, n)
+
+    @given(count=counts, n=populations)
+    def test_antitone_in_population(self, count, n):
+        if not at_least_third(count, n):
+            assert not at_least_third(count, n + 1)
+        if not at_least_two_thirds(count, n):
+            assert not at_least_two_thirds(count, n + 1)
+
+    @given(f=st.integers(min_value=0, max_value=60))
+    def test_lemma_quorum_overlap(self, f):
+        """Two 2n/3 quorums over n > 3f nodes share a correct node.
+
+        This is Lemma `quorum` in its counting form: with g = n - f
+        correct nodes, any two sets of size >= 2n/3 overlap in more than
+        f nodes, so in at least one correct one.
+        """
+        n = 3 * f + 1
+        quorum = -(-2 * n // 3)  # ceil(2n/3): the smallest passing count
+        # two quorums overlap in at least 2*quorum - n nodes
+        overlap = 2 * quorum - n
+        assert overlap > f
+
+    @given(f=st.integers(min_value=0, max_value=60))
+    def test_lemma_rn_g1_byzantine_cannot_fake_third(self, f):
+        """Byzantine nodes alone never reach an n_v/3 quorum (Lemma rn-g1).
+
+        Worst case for the adversary: every faulty node talks to v
+        (f_v' = f) and all of them back the same value, while all g
+        correct nodes have announced themselves.
+        """
+        g = 2 * f + 1  # the minimum correct population for n > 3f
+        n_v = g + f
+        assert not at_least_third(f, n_v) or f == 0
+
+    @given(
+        f=st.integers(min_value=0, max_value=60),
+        g_extra=st.integers(min_value=1, max_value=60),
+    )
+    def test_correct_majority_always_passes_two_thirds(self, f, g_extra):
+        """All g correct votes always clear the 2n_v/3 bar (validity)."""
+        g = 2 * f + g_extra
+        n_v = g + f
+        assert at_least_two_thirds(g, n_v)
+
+
+class TestEchoVotingProperties:
+    @given(
+        senders=st.lists(
+            st.integers(min_value=0, max_value=30),
+            min_size=0,
+            max_size=60,
+        ),
+        n=st.integers(min_value=1, max_value=40),
+    )
+    def test_accept_implies_echo_in_same_evaluation(self, senders, n):
+        voting = EchoVoting()
+        voting.absorb((s, "t") for s in senders)
+        decision = voting.evaluate(n, 1)
+        if "t" in decision.newly_accepted:
+            assert "t" in decision.echo
+
+    @given(
+        batches=st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=20),
+                min_size=0,
+                max_size=20,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        n=st.integers(min_value=1, max_value=30),
+    )
+    def test_acceptance_is_permanent_and_unique(self, batches, n):
+        voting = EchoVoting()
+        accept_events = 0
+        for round_no, batch in enumerate(batches, start=1):
+            voting.absorb((s, "t") for s in batch)
+            decision = voting.evaluate(n, round_no)
+            accept_events += decision.newly_accepted.count("t")
+        assert accept_events <= 1
+        if accept_events:
+            assert voting.is_accepted("t")

@@ -1,0 +1,69 @@
+"""Property-based fuzzing of the wire codec."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.wire import (
+    decode_frame,
+    decode_value,
+    encode_frame,
+    encode_value,
+)
+from repro.types import BOTTOM
+
+# Hashable payloads of the shape protocols actually send: scalars,
+# strings, BOTTOM, and nested tuples thereof.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+    st.just(BOTTOM),
+)
+payloads = st.recursive(
+    scalars,
+    lambda children: st.tuples(children, children)
+    | st.tuples(children)
+    | st.tuples(children, children, children),
+    max_leaves=8,
+)
+
+
+class TestWireProperties:
+    @given(value=payloads)
+    def test_value_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    @given(value=payloads)
+    def test_decoded_values_stay_hashable(self, value):
+        decoded = decode_value(encode_value(value))
+        hash(decoded)  # must not raise
+
+    @given(
+        payload=payloads,
+        instance=payloads,
+        round_no=st.integers(min_value=0, max_value=10**6),
+        sender=st.integers(min_value=0, max_value=10**9),
+        kind=st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    def test_frame_roundtrip(self, payload, instance, round_no, sender, kind):
+        frame = encode_frame(round_no, sender, kind, payload, instance)
+        parsed = decode_frame(frame[4:])
+        assert parsed["round"] == round_no
+        assert parsed["sender"] == sender
+        assert parsed["kind"] == kind
+        assert parsed["payload"] == payload
+        assert parsed["instance"] == instance
+
+    @given(junk=st.binary(max_size=64))
+    def test_garbage_never_crashes_decoder_unsafely(self, junk):
+        """Arbitrary bytes either parse or raise ValueError — nothing
+        else (the peer closes the connection on ValueError)."""
+        try:
+            decode_frame(junk)
+        except (ValueError, UnicodeDecodeError):
+            pass

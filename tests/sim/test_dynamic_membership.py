@@ -1,0 +1,93 @@
+"""Engine-level tests for scheduled joins and forced leaves."""
+
+from repro.sim.inbox import Inbox
+from repro.sim.membership import MembershipSchedule
+from repro.sim.network import SyncNetwork
+from repro.sim.node import NodeApi, Protocol
+
+
+class Recorder(Protocol):
+    def __init__(self):
+        super().__init__()
+        self.heard_by_round = {}
+
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        self.heard_by_round[api.round] = sorted(inbox.senders())
+        api.broadcast("beat", api.round)
+
+
+class TestScheduledJoins:
+    def test_joiner_activates_at_scheduled_round(self):
+        schedule = MembershipSchedule()
+        joiner = Recorder()
+        schedule.join(3, 99, lambda: joiner)
+        net = SyncNetwork(membership=schedule)
+        net.add_correct(1, Recorder())
+        net.run(5, until_all_halted=False)
+        # first active round is 3, whose inbox is empty for the joiner
+        assert min(joiner.heard_by_round) == 3
+        assert joiner.heard_by_round[3] == []
+
+    def test_joiner_does_not_get_pre_join_messages(self):
+        schedule = MembershipSchedule()
+        joiner = Recorder()
+        schedule.join(4, 99, lambda: joiner)
+        net = SyncNetwork(membership=schedule)
+        net.add_correct(1, Recorder())
+        net.run(6, until_all_halted=False)
+        # round-4 inbox holds messages sent at round 3, staged before the
+        # joiner existed: it must not see them.
+        assert joiner.heard_by_round[4] == []
+        # from round 5 it hears round-4 broadcasts
+        assert 1 in joiner.heard_by_round[5]
+
+    def test_joiner_messages_reach_existing_nodes(self):
+        schedule = MembershipSchedule()
+        schedule.join(3, 99, Recorder)
+        net = SyncNetwork(membership=schedule)
+        veteran = Recorder()
+        net.add_correct(1, veteran)
+        net.run(5, until_all_halted=False)
+        assert 99 in veteran.heard_by_round[4]
+
+    def test_byzantine_join(self):
+        class Byz:
+            def on_round(self, view):
+                from repro.sim.message import Send
+
+                return [Send(dest, "evil", None) for dest in view.all_nodes]
+
+        schedule = MembershipSchedule()
+        schedule.join(2, 66, Byz, byzantine=True)
+        net = SyncNetwork(membership=schedule)
+        veteran = Recorder()
+        net.add_correct(1, veteran)
+        net.run(4, until_all_halted=False)
+        assert 66 in net.byzantine_ids
+        assert 66 in veteran.heard_by_round[3]
+
+
+class TestForcedLeaves:
+    def test_scheduled_leave_silences_node(self):
+        schedule = MembershipSchedule()
+        schedule.leave(3, 2)
+        net = SyncNetwork(membership=schedule)
+        a, b = Recorder(), Recorder()
+        net.add_correct(1, a)
+        net.add_correct(2, b)
+        net.run(5, until_all_halted=False)
+        # b's round-2 broadcast arrives at round 3; b is removed at round
+        # 3 so nothing from b arrives at round 4 or later.
+        assert 2 in a.heard_by_round[3]
+        assert 2 not in a.heard_by_round[4]
+        assert 2 not in a.heard_by_round[5]
+
+    def test_left_node_receives_nothing(self):
+        schedule = MembershipSchedule()
+        schedule.leave(2, 2)
+        net = SyncNetwork(membership=schedule)
+        a, b = Recorder(), Recorder()
+        net.add_correct(1, a)
+        net.add_correct(2, b)
+        net.run(4, until_all_halted=False)
+        assert max(b.heard_by_round, default=1) == 1

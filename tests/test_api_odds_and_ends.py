@@ -1,0 +1,46 @@
+"""Coverage for small public API conveniences the audit flagged."""
+
+from repro.adversary.simple import crash_factory
+from repro.analysis.report import print_table
+from repro.asyncsim.engine import AsyncEngine
+from repro.asyncsim.naive_consensus import WaitAndMajority
+from repro.asyncsim.schedulers import UniformScheduler
+from repro.core.consensus import EarlyConsensus
+
+
+class TestCrashFactory:
+    def test_builds_fresh_strategies(self):
+        factory = crash_factory(lambda: EarlyConsensus(1), crash_round=4)
+        a, b = factory(), factory()
+        assert a is not b
+        assert a.crash_round == b.crash_round == 4
+        assert a._protocol is not b._protocol
+
+
+class TestPrintTable:
+    def test_prints_rendered_table(self, capsys):
+        print_table([{"k": 1}], title="T")
+        out = capsys.readouterr().out
+        assert "## T" in out
+        assert "| k |" in out
+
+
+class TestPeersHeard:
+    def test_tracks_distinct_senders(self):
+        engine = AsyncEngine(UniformScheduler(1.0))
+        nodes = {
+            node_id: WaitAndMajority(0, patience=5.0)
+            for node_id in (1, 2, 3)
+        }
+        for node_id, node in nodes.items():
+            engine.add_node(node_id, node)
+        heard = {}
+
+        class Probe(WaitAndMajority):
+            def on_timer(self, ctx, tag):
+                heard[ctx.node_id] = ctx.peers_heard
+                super().on_timer(ctx, tag)
+
+        engine.add_node(9, Probe(1, patience=5.0))
+        engine.run()
+        assert heard[9] >= {1, 2, 3}

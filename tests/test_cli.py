@@ -1,0 +1,179 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "consensus"])
+        assert args.n == 10
+        assert args.f == 3
+        assert args.adversary == "silent"
+
+    def test_sweep_defaults_force(self):
+        args = build_parser().parse_args(["sweep", "consensus"])
+        assert args.force is True
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonsense"])
+
+    def test_rejects_unknown_adversary(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "consensus", "--adversary", "nonsense"]
+            )
+
+
+class TestCommands:
+    def test_run_consensus_ok(self, capsys):
+        code = main(
+            ["run", "consensus", "--n", "7", "--f", "2", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "agreement: OK" in out
+
+    def test_run_with_wrapping_adversary(self, capsys):
+        code = main(
+            [
+                "run",
+                "consensus",
+                "--n",
+                "7",
+                "--f",
+                "2",
+                "--adversary",
+                "splitter",
+                "--rushing",
+            ]
+        )
+        assert code == 0
+
+    @pytest.mark.parametrize(
+        "protocol", ["rotor", "approx", "renaming", "binary-consensus"]
+    )
+    def test_run_other_protocols(self, protocol, capsys):
+        code = main(
+            ["run", protocol, "--n", "7", "--f", "2", "--seed", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rounds" in out
+
+    def test_sweep_prints_table(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "consensus",
+                "--n",
+                "7",
+                "--max-f",
+                "2",
+                "--seeds",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "| f " in out
+        assert "n>3f" in out
+
+    def test_record_and_verify_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        assert (
+            main(
+                [
+                    "record",
+                    "consensus",
+                    "--n",
+                    "7",
+                    "--f",
+                    "2",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert out.exists()
+        assert (
+            main(
+                [
+                    "record",
+                    "consensus",
+                    "--n",
+                    "7",
+                    "--f",
+                    "2",
+                    "--verify",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert "matches" in capsys.readouterr().out
+
+    def test_record_verify_detects_mismatch(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        main(["record", "consensus", "--n", "7", "--f", "2", "--out",
+              str(out)])
+        code = main(
+            [
+                "record",
+                "consensus",
+                "--n",
+                "7",
+                "--f",
+                "2",
+                "--seed",
+                "9",
+                "--verify",
+                str(out),
+            ]
+        )
+        assert code == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_matrix_command(self, capsys):
+        code = main(
+            [
+                "matrix",
+                "consensus",
+                "--n",
+                "7",
+                "--f",
+                "2",
+                "--seeds",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "adversary matrix" in out
+        assert "adaptive" in out
+
+    def test_run_timeline_flag(self, capsys):
+        code = main(
+            [
+                "run",
+                "consensus",
+                "--n",
+                "4",
+                "--f",
+                "0",
+                "--timeline",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DEC=" in out
+
+    def test_demo_impossibility(self, capsys):
+        code = main(["demo", "impossibility"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Lemma 9.1" in out
+        assert "disagreement     : True" in out

@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    PropertyViolation,
+    ProtocolViolation,
+    ReproError,
+    RoundLimitExceeded,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            PropertyViolation,
+            ProtocolViolation,
+            SimulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_round_limit_is_simulation_error(self):
+        assert issubclass(RoundLimitExceeded, SimulationError)
+
+    def test_round_limit_carries_details(self):
+        err = RoundLimitExceeded(50, [3, 1, 2])
+        assert err.limit == 50
+        assert err.still_running == [3, 1, 2]
+        assert "50" in str(err)
+        assert "[1, 2, 3]" in str(err)
+
+    def test_catch_all_with_base(self):
+        with pytest.raises(ReproError):
+            raise ConfigurationError("nope")

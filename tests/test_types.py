@@ -1,0 +1,33 @@
+"""Tests for repro.types."""
+
+import pickle
+
+from repro.types import BOTTOM, _Bottom, is_bottom
+
+
+class TestBottom:
+    def test_singleton(self):
+        assert _Bottom() is BOTTOM
+
+    def test_is_bottom_true(self):
+        assert is_bottom(BOTTOM)
+
+    def test_is_bottom_false_for_none(self):
+        assert not is_bottom(None)
+
+    def test_is_bottom_false_for_zero(self):
+        assert not is_bottom(0)
+
+    def test_is_bottom_false_for_empty_string(self):
+        assert not is_bottom("")
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "⊥"
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(BOTTOM)) is BOTTOM
+
+    def test_distinct_from_every_common_value(self):
+        for value in (None, 0, 1, "", "⊥", False, (), frozenset()):
+            assert BOTTOM != value or value is BOTTOM
+            assert not is_bottom(value)
