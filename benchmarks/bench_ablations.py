@@ -15,7 +15,7 @@
 
 import statistics
 
-from repro.adversary import QuorumSplitterStrategy, ValueInjectorStrategy
+from repro.adversary import QuorumSplitterStrategy
 from repro.core.approx_agreement import trim_and_midpoint
 from repro.core.consensus import EarlyConsensus
 from repro.errors import SimulationError

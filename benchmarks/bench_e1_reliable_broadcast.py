@@ -9,8 +9,6 @@ shape: 100% everywhere, acceptance always in round 3 for a correct
 sender.
 """
 
-import pytest
-
 from repro.adversary import (
     EchoForgerStrategy,
     MembershipLiarStrategy,

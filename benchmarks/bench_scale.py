@@ -16,8 +16,6 @@ Nothing may grow superlinearly per node: that would be a regression
 against the classics.
 """
 
-import statistics
-
 from repro.analysis.complexity import classify_growth
 from repro.core.approx_agreement import IteratedApproximateAgreement
 from repro.core.consensus import EarlyConsensus

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from repro.asyncsim.engine import AsyncEngine
 from repro.asyncsim.naive_consensus import WaitAndMajority
 from repro.asyncsim.schedulers import PartitionScheduler, UniformScheduler
+from repro.sim.rng import make_rng
 from repro.types import NodeId
 
 
@@ -208,9 +209,7 @@ def estimate_disagreement_probability(
     one.  The measured disagreement rate must track q — there is no
     algorithmic mitigation to discover.
     """
-    import random
-
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     disagreements = 0
     for _ in range(runs):
         partitioned = rng.random() < partition_probability

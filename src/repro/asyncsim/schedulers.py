@@ -7,10 +7,10 @@ group-partitioned delays (the indistinguishability constructions).
 
 from __future__ import annotations
 
-import random
 from typing import Iterable
 
 from repro.asyncsim.engine import Scheduler
+from repro.sim.rng import make_rng
 from repro.types import NodeId
 
 
@@ -34,7 +34,7 @@ class JitterScheduler(Scheduler):
             raise ValueError("low must not exceed high")
         self._low = low
         self._high = high
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
 
     def delay(
         self, sender: NodeId, recipient: NodeId, time: float, kind: str

@@ -6,7 +6,8 @@ Three subcommands:
   a chosen adversary, with the outcome and metrics printed;
 * ``repro sweep <protocol>`` — a resiliency sweep over ``f`` for a fixed
   population, printing the success-rate table;
-* ``repro demo impossibility`` — the §9 partition/embedding experiments.
+* ``repro demo impossibility`` — the §9 partition/embedding experiments;
+* ``repro lint`` — the static model-invariant checker (``repro.lint``).
 """
 
 from __future__ import annotations
@@ -27,7 +28,6 @@ from repro.core import (
     EarlyConsensus,
     InteractiveConsistency,
     ParallelConsensus,
-    ReliableBroadcast,
     RotorCoordinator,
     TerminatingReliableBroadcast,
 )
@@ -227,6 +227,13 @@ def cmd_demo(args) -> int:
     raise SystemExit(f"unknown demo {args.what!r}")
 
 
+def cmd_lint(args) -> int:
+    """Delegate to :mod:`repro.lint` (``repro lint [lint options]``)."""
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(args.rest)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -295,10 +302,25 @@ def build_parser() -> argparse.ArgumentParser:
     demo_p = sub.add_parser("demo", help="canned demonstrations")
     demo_p.add_argument("what", choices=["impossibility"])
     demo_p.set_defaults(func=cmd_demo)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="statically check the model invariants (see repro.lint)",
+        add_help=False,
+    )
+    lint_p.add_argument("rest", nargs=argparse.REMAINDER)
+    lint_p.set_defaults(func=cmd_lint)  # main() intercepts before argparse
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["lint"]:
+        # Hand the whole tail to the lint CLI: argparse.REMAINDER cannot
+        # forward leading options like --list-rules.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -273,6 +273,7 @@ class ConsensusInstance:
         for message in tagged.filter(kind):
             vote(self._decode(message.payload), message.sender)
         if kind == KIND_INPUT:
+            # repro-lint: disable=R304 -- commutative set-vote accumulation
             for sender in tagged.senders(KIND_NOINPUT):
                 vote(BOTTOM, sender)
 

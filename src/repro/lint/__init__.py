@@ -1,0 +1,57 @@
+"""``repro.lint`` — static enforcement of the paper's model invariants.
+
+The reproduction's correctness claims rest on discipline that Python's
+type system cannot see: correct-node code must never consult global
+knowledge of ``n`` or ``f`` (only the locally observed ``n_v``), quorum
+conditions must use exact integer arithmetic, every stochastic choice
+must flow through the seeded RNG, and protocols must speak through
+:class:`~repro.sim.node.NodeApi` rather than stamping wire messages
+themselves.  This package makes those invariants machine-checked
+properties of the source tree.
+
+Usage::
+
+    python -m repro.lint src                 # lint the tree
+    python -m repro.lint --format=json src   # machine-readable output
+    python -m repro.lint --list-rules        # what is enforced
+
+Findings can be silenced in two ways (see ``docs/lint.md``):
+
+* an inline ``repro-lint: disable=<code> -- justification`` comment on
+  the flagged line;
+* an entry in the committed baseline file (``lint-baseline.json``) for
+  grandfathered findings, regenerated with ``--write-baseline``.
+
+The rule families:
+
+* **R1xx — id-only model** (``repro.core``/``repro.baselines``): no
+  global-membership surfaces outside ``ViewTracker``/``NodeApi``.
+* **R2xx — integer quorum math**: thresholds compare via
+  ``3 * count >= n_v``, never float division or fraction literals.
+* **R3xx — determinism**: randomness through ``repro.sim.rng``, no wall
+  clocks outside ``repro.net``/``repro.analysis``, no order-dependent
+  iteration over unordered collections in protocol code.
+* **R4xx — protocol hygiene**: protocols never touch ``Outbox`` or
+  stamp sender ids; the network does.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline, fingerprint
+from repro.lint.diagnostics import Diagnostic, format_json, format_text
+from repro.lint.engine import FileContext, LintResult, Rule, run_paths
+from repro.lint.rules import all_rules, rules_by_code
+
+__all__ = [
+    "Baseline",
+    "Diagnostic",
+    "FileContext",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "fingerprint",
+    "format_json",
+    "format_text",
+    "rules_by_code",
+    "run_paths",
+]

@@ -1,0 +1,126 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline entry acknowledges a pre-existing finding without silencing
+the rule for new code.  Entries are keyed by a *fingerprint* of
+``(rule code, normalized path, stripped source line)`` — deliberately
+not the line number, so unrelated edits that shift a file do not
+invalidate the baseline, while any change to the flagged line itself
+resurfaces the finding for re-review.
+
+The file (``lint-baseline.json`` at the repo root by default) is
+human-readable JSON; regenerate it with
+``python -m repro.lint --write-baseline <paths>``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.diagnostics import Diagnostic
+
+#: Format marker so future layouts can migrate old files.
+BASELINE_VERSION = 1
+
+
+def normalize_path(path: str) -> str:
+    """Invocation-independent form of *path* for fingerprinting.
+
+    Anchors at the last ``repro`` (else ``src``) segment so linting
+    ``src``, ``src/repro``, or an absolute path all fingerprint a file
+    identically; always forward-slashed for OS independence.
+    """
+    parts = path.replace("\\", "/").split("/")
+    for anchor in ("repro", "src"):
+        if anchor in parts:
+            index = len(parts) - 1 - parts[::-1].index(anchor)
+            return "/".join(parts[index:])
+    return "/".join(parts)
+
+
+def fingerprint(diagnostic: Diagnostic) -> str:
+    """Stable identity of a finding across line-number churn."""
+    basis = "\n".join(
+        (
+            diagnostic.code,
+            normalize_path(diagnostic.path),
+            diagnostic.source_line.strip(),
+        )
+    )
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+
+class Baseline:
+    """Grandfathered findings, with per-fingerprint multiplicity.
+
+    Two identical source lines in one file share a fingerprint; the
+    stored count lets the baseline absorb exactly that many findings
+    and no more.
+    """
+
+    def __init__(self, counts: dict[str, int] | None = None):
+        self._counts: Counter[str] = Counter(counts or {})
+        #: Human-readable context per fingerprint (kept on write).
+        self.entries: dict[str, dict[str, object]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = data.get("entries", {})
+        baseline = cls(
+            {fp: int(entry.get("count", 1)) for fp, entry in entries.items()}
+        )
+        baseline.entries = entries
+        return baseline
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: list[Diagnostic]) -> "Baseline":
+        """Build the baseline that would absorb exactly *diagnostics*."""
+        baseline = cls()
+        for diag in sorted(diagnostics, key=Diagnostic.sort_key):
+            fp = fingerprint(diag)
+            baseline._counts[fp] += 1
+            entry = baseline.entries.setdefault(
+                fp,
+                {
+                    "rule": diag.code,
+                    "path": normalize_path(diag.path),
+                    "line": diag.source_line.strip(),
+                    "count": 0,
+                },
+            )
+            entry["count"] = baseline._counts[fp]
+        return baseline
+
+    def write(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "comment": (
+                "Grandfathered repro.lint findings. Do not add entries for "
+                "new code; fix or inline-suppress with justification. "
+                "Regenerate with: python -m repro.lint --write-baseline src"
+            ),
+            "entries": dict(sorted(self.entries.items())),
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    # ------------------------------------------------------------------
+    def absorb(self, diagnostic: Diagnostic) -> bool:
+        """Consume one allowance for this finding if any remains."""
+        fp = fingerprint(diagnostic)
+        if self._counts.get(fp, 0) > 0:
+            self._counts[fp] -= 1
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())

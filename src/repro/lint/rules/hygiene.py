@@ -1,0 +1,120 @@
+"""R4xx — protocol hygiene (paper §3; src/repro/sim/node.py).
+
+The model's unforgeable-sender guarantee is implemented by a single
+choke point: protocols describe sends through
+:class:`~repro.sim.node.NodeApi`, and the *network* stamps the sender
+id (``Send.stamped``) at delivery.  A protocol that builds an
+:class:`~repro.sim.message.Outbox` itself, pokes the api's private
+state, or stamps messages directly would bypass the prior-contact check
+on direct sends and could forge sender identities — exactly what the
+paper assumes impossible.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext, Rule
+
+PROTOCOL_LAYERS = ("core", "baselines")
+
+#: NodeApi / engine internals that protocol code must not reach into.
+PRIVATE_ATTRS = frozenset({"_outbox", "_known_contacts", "_nodes"})
+
+
+class OutboxInProtocol(Rule):
+    """R401: protocols never import or construct an Outbox."""
+
+    code = "R401"
+    name = "outbox-in-protocol"
+    description = (
+        "protocol code may not import or instantiate Outbox; sends go "
+        "through NodeApi.broadcast / NodeApi.send"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_layer(*PROTOCOL_LAYERS)
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and any(
+                alias.name == "Outbox" for alias in node.names
+            ):
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    "importing Outbox into protocol code bypasses the "
+                    "NodeApi send discipline",
+                    hint="use api.broadcast / api.send",
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "Outbox"
+            ):
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    "protocol code constructs an Outbox directly",
+                    hint="use api.broadcast / api.send",
+                )
+
+
+class PrivateApiAccess(Rule):
+    """R402: no reaching into NodeApi/engine private state."""
+
+    code = "R402"
+    name = "private-api-access"
+    description = (
+        "protocol code may not touch NodeApi/engine internals "
+        "(_outbox, _known_contacts, _nodes)"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_layer(*PROTOCOL_LAYERS)
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in PRIVATE_ATTRS
+            ):
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"'.{node.attr}' is private engine/api state; the "
+                    "prior-contact and stamping guarantees depend on it "
+                    "staying untouched",
+                    hint="use NodeApi.knows / NodeApi.send",
+                )
+
+
+class SenderStamping(Rule):
+    """R403: only the network stamps sender ids onto the wire."""
+
+    code = "R403"
+    name = "sender-stamping"
+    description = (
+        "protocol code may not call .stamped(); sender ids are applied "
+        "by the network so they cannot be forged"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_layer(*PROTOCOL_LAYERS)
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "stamped"
+            ):
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    "calling .stamped() in protocol code forges the "
+                    "network's sender-stamping step",
+                    hint="the engine stamps senders at delivery",
+                )

@@ -1,0 +1,135 @@
+"""R2xx — exact integer quorum arithmetic (paper §4, quorum.py).
+
+Every threshold in the paper has the shape ``count >= n_v/3`` or
+``count >= 2 n_v/3`` over *real-valued* inequalities.  The reproduction
+realizes them as exact cross-multiplied integer comparisons
+(``3 * count >= n_v``) so the boundary cases — ``n_v`` not divisible by
+3 — match the paper precisely.  Any float division, ``math.ceil``/
+``floor`` rounding, or ``0.66``-style fraction literal inside a
+threshold comparison silently changes the resiliency bound, so these
+rules flag them wherever they appear inside a comparison in protocol
+code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext, Rule
+
+PROTOCOL_LAYERS = ("core", "baselines")
+
+QUORUM_HINT = (
+    "use quorum.at_least_third / at_least_two_thirds "
+    "(3 * count >= n_v integer form)"
+)
+
+#: Rounding helpers that truncate the exact inequality.
+ROUNDING_FUNCS = frozenset({"ceil", "floor", "trunc", "round"})
+
+
+def _compares(tree: ast.Module) -> Iterator[ast.Compare]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Compare):
+            yield node
+
+
+def _within(compare: ast.Compare) -> Iterator[ast.AST]:
+    """Every node inside the comparison's operand expressions."""
+    for operand in (compare.left, *compare.comparators):
+        yield from ast.walk(operand)
+
+
+class FloatDivisionThreshold(Rule):
+    """R201: no true division inside a threshold comparison."""
+
+    code = "R201"
+    name = "float-division-threshold"
+    description = (
+        "threshold comparisons must use cross-multiplied integer "
+        "arithmetic, never '/' division"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_layer(*PROTOCOL_LAYERS)
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for compare in _compares(ctx.tree):
+            for node in _within(compare):
+                if isinstance(node, ast.BinOp) and isinstance(
+                    node.op, ast.Div
+                ):
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        "float division inside a comparison: the quorum "
+                        "boundary cases (n_v not divisible by 3) round "
+                        "differently than the paper's inequality",
+                        hint=QUORUM_HINT,
+                    )
+
+
+class CeilFloorThreshold(Rule):
+    """R202: no ceil/floor/round rounding inside a threshold comparison."""
+
+    code = "R202"
+    name = "rounding-in-threshold"
+    description = (
+        "threshold comparisons must not round via math.ceil/floor/"
+        "trunc/round"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_layer(*PROTOCOL_LAYERS)
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for compare in _compares(ctx.tree):
+            for node in _within(compare):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                name = ""
+                if isinstance(func, ast.Attribute):
+                    name = func.attr
+                elif isinstance(func, ast.Name):
+                    name = func.id
+                if name in ROUNDING_FUNCS:
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"'{name}()' inside a comparison rounds the exact "
+                        "quorum inequality",
+                        hint=QUORUM_HINT,
+                    )
+
+
+class QuorumFractionLiteral(Rule):
+    """R203: no float literals standing in for n_v/3 or 2n_v/3."""
+
+    code = "R203"
+    name = "quorum-fraction-literal"
+    description = (
+        "float literals (0.33, 0.66, ...) must not appear in threshold "
+        "comparisons"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_layer(*PROTOCOL_LAYERS)
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for compare in _compares(ctx.tree):
+            for node in _within(compare):
+                if (
+                    isinstance(node, ast.Constant)
+                    and isinstance(node.value, float)
+                    and node.value not in (0.0, 1.0)
+                ):
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"float literal {node.value!r} in a comparison; "
+                        "quorum fractions must be exact integer ratios",
+                        hint=QUORUM_HINT,
+                    )

@@ -25,6 +25,7 @@ from repro.net.peer import NetPeer
 from repro.sim.inbox import Inbox
 from repro.sim.message import BROADCAST, Message
 from repro.sim.network import AdversaryView
+from repro.sim.rng import make_rng
 from repro.types import NodeId
 
 
@@ -40,15 +41,13 @@ class ByzantineRunner:
         max_rounds: int = 120,
         seed: int = 0,
     ):
-        import random
-
         self.peer = peer
         self.strategy = strategy
         self.correct_ids = frozenset(correct_ids)
         self.period = period
         self.max_rounds = max_rounds
         self.round = 0
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
         self._thread: threading.Thread | None = None
 
     def run(self, start_time: float) -> None:

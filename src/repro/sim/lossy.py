@@ -14,11 +14,10 @@ breaks (benchmark ``bench_ablations``/synchrony).  Nothing in
 
 from __future__ import annotations
 
-import random
-
 from repro.sim.membership import MembershipSchedule
 from repro.sim.message import Send
 from repro.sim.network import SyncNetwork
+from repro.sim.rng import make_rng
 from repro.types import NodeId
 
 
@@ -36,9 +35,7 @@ class LossyNetwork(SyncNetwork):
             raise ValueError("drop_rate must be within [0, 1]")
         super().__init__(seed=seed, rushing=rushing, membership=membership)
         self.drop_rate = drop_rate
-        self._loss_rng = random.Random(
-            (0 if seed is None else seed) ^ 0x10552E55
-        )
+        self._loss_rng = make_rng(seed, salt=0x10552E55)
         self.dropped = 0
 
     def _stage(self, sends: list[tuple[NodeId, Send]]) -> None:

@@ -19,7 +19,6 @@ tracks contacts, applies membership changes, and records metrics/traces.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Protocol as TypingProtocol
 
@@ -29,6 +28,7 @@ from repro.sim.membership import MembershipSchedule
 from repro.sim.message import BROADCAST, Message, Outbox, Send
 from repro.sim.metrics import Metrics
 from repro.sim.node import NodeApi, Protocol
+from repro.sim.rng import Random, make_rng
 from repro.sim.trace import Trace
 from repro.types import NodeId, Round
 
@@ -56,7 +56,7 @@ class AdversaryView:
     all_nodes: frozenset[NodeId]
     correct_nodes: frozenset[NodeId]
     byzantine_nodes: frozenset[NodeId]
-    rng: random.Random
+    rng: Random
     #: (sender, send) pairs from correct nodes this round; empty unless the
     #: network runs in rushing mode.
     correct_traffic: tuple[tuple[NodeId, Send], ...] = ()
@@ -90,7 +90,7 @@ class SyncNetwork:
         membership: MembershipSchedule | None = None,
         measure_bytes: bool = False,
     ):
-        self._rng = random.Random(0 if seed is None else seed)
+        self._rng = make_rng(seed)
         self.rushing = rushing
         self.membership = membership or MembershipSchedule()
         self.metrics = Metrics()

@@ -14,18 +14,26 @@ import random
 
 from repro.types import NodeId
 
+#: Re-exported generator type, so the rest of the library can annotate
+#: and subclass without importing ``random`` directly (the lint rule
+#: R301 confines that import to this module).
+Random = random.Random
+
 #: Default id-space upper bound.  Large enough that collisions with small
 #: test populations are effectively impossible, small enough to read.
 DEFAULT_ID_SPACE = 10**6
 
 
-def make_rng(seed: int | None) -> random.Random:
+def make_rng(seed: int | None, salt: int = 0) -> random.Random:
     """A fresh deterministic generator for *seed* (None -> seed 0).
 
     ``None`` maps to a fixed seed rather than OS entropy: experiments must
-    never be accidentally irreproducible.
+    never be accidentally irreproducible.  *salt* derives an independent
+    stream from the same user-facing seed (e.g. the loss lottery of
+    :class:`~repro.sim.lossy.LossyNetwork` must not perturb the engine's
+    main stream); it xors into the seed, so ``salt=0`` is the identity.
     """
-    return random.Random(0 if seed is None else seed)
+    return random.Random((0 if seed is None else seed) ^ salt)
 
 
 def sparse_ids(

@@ -15,7 +15,7 @@ from repro.adversary import (
 )
 from repro.adversary.simple import HalfCrashStrategy
 from repro.sim.inbox import Inbox
-from repro.sim.message import BROADCAST, Send
+from repro.sim.message import BROADCAST
 from repro.sim.network import AdversaryView
 from repro.sim.node import Protocol
 

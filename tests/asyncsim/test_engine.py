@@ -3,9 +3,7 @@
 import pytest
 
 from repro.asyncsim.engine import (
-    AsyncContext,
     AsyncEngine,
-    AsyncMessage,
     AsyncNode,
 )
 from repro.asyncsim.schedulers import (

@@ -7,13 +7,11 @@ helpers here keep individual tests down to the interesting lines.
 
 from __future__ import annotations
 
-from typing import Callable
 
 import pytest
 
 from repro.sim.rng import make_rng, sparse_ids
 from repro.sim.runner import Scenario, run_scenario
-from repro.types import NodeId
 
 
 def predict_ids(seed: int, correct: int, byzantine: int):

@@ -1,8 +1,6 @@
 """Continuous approximate agreement under churn (§11 first part)."""
 
-import pytest
-
-from repro.adversary import SilentStrategy, ValueInjectorStrategy
+from repro.adversary import ValueInjectorStrategy
 from repro.core.approx_agreement import ContinuousApproximateAgreement
 from repro.sim.membership import MembershipSchedule
 from repro.sim.network import SyncNetwork

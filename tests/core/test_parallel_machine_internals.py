@@ -5,9 +5,6 @@ machinery the total-ordering layer depends on: wire-tag namespacing,
 the phase cap, join-window arithmetic, and result bookkeeping.
 """
 
-import pytest
-
-from repro.adversary import SilentStrategy
 from repro.core.parallel_consensus import (
     ConsensusInstance,
     ParallelConsensus,

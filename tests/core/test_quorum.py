@@ -55,6 +55,44 @@ class TestThresholds:
                 assert at_least_two_thirds(count, n) == expected2
 
 
+class TestThresholdBoundaries:
+    """The exact boundary cases the integer form must get right."""
+
+    def test_n_v_not_divisible_by_three(self):
+        # Real-valued inequality count >= n_v/3 at n_v = 3k+1 / 3k+2:
+        # the first satisfying integer is ceil(n_v/3), with no float
+        # rounding allowed to blur the crossover.
+        assert not at_least_third(1, 4) and at_least_third(2, 4)
+        assert not at_least_third(1, 5) and at_least_third(2, 5)
+        assert not at_least_third(2, 7) and at_least_third(3, 7)
+        assert not at_least_third(3, 10) and at_least_third(4, 10)
+        # count >= 2 n_v / 3 likewise: first satisfying integer is
+        # ceil(2 n_v / 3).
+        assert not at_least_two_thirds(2, 4) and at_least_two_thirds(3, 4)
+        assert not at_least_two_thirds(3, 5) and at_least_two_thirds(4, 5)
+        assert not at_least_two_thirds(4, 7) and at_least_two_thirds(5, 7)
+
+    def test_zero_view_with_positive_count(self):
+        # n_v = 0 with count > 0: a message from a sender the tracker
+        # has not yet observed.  The real inequalities count >= 0/3 and
+        # count >= 0 hold trivially, and the count > 0 clause is already
+        # satisfied, so both thresholds pass.
+        assert at_least_third(1, 0)
+        assert at_least_two_thirds(1, 0)
+        assert not less_than_third(1, 0)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 7, 100])
+    def test_complementarity_at_exact_threshold(self, k):
+        # At n_v = 3k the threshold is met by exactly k echoes; the
+        # coordinator-switch predicate must flip at precisely that
+        # count, with no value of (count, n_v) in both or neither set.
+        n_v = 3 * k
+        assert at_least_third(k, n_v)
+        assert not less_than_third(k, n_v)
+        assert less_than_third(k - 1, n_v)
+        assert not at_least_third(k - 1, n_v)
+
+
 class TestViewTracker:
     def test_observe_accumulates(self):
         tracker = ViewTracker()

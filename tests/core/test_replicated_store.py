@@ -1,7 +1,5 @@
 """The replicated key-value store (SMR on Algorithm 6)."""
 
-import pytest
-
 from repro.adversary import SilentStrategy
 from repro.core.replicated_store import ReplicatedKVStore
 from repro.sim.membership import MembershipSchedule

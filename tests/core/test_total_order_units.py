@@ -1,8 +1,5 @@
 """Unit tests for total-order helpers and lifecycle flags."""
 
-import pytest
-
-from repro.adversary import SilentStrategy
 from repro.core.total_order import TotalOrderNode, events_from_dict
 from repro.sim.network import SyncNetwork
 from repro.sim.rng import make_rng, sparse_ids

@@ -16,7 +16,6 @@ from repro.adversary import (
 )
 from repro.analysis.checkers import (
     check_agreement,
-    check_approx_agreement,
     check_reliable_broadcast,
     check_rotor_good_round,
     check_validity,

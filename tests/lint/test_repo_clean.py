@@ -1,0 +1,80 @@
+"""The repository itself must satisfy its own invariants (tier-1).
+
+This is the enforcement test the ISSUE asks for: ``python -m repro.lint
+src`` exits 0 against the committed baseline, every inline suppression
+carries a justification, and the baseline only contains the
+grandfathered known-``n``/``f`` baseline findings.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import Diagnostic, all_rules, run_paths
+from repro.lint.baseline import Baseline
+from repro.lint.engine import discover_files, load_context
+from repro.lint.suppressions import parse_suppressions
+
+from .conftest import REPO_ROOT
+
+SRC = REPO_ROOT / "src"
+BASELINE = REPO_ROOT / "lint-baseline.json"
+
+
+def test_src_is_clean_against_committed_baseline():
+    result = run_paths([SRC], all_rules(), baseline=Baseline.load(BASELINE))
+    rendered = "\n".join(d.render() for d in result.diagnostics)
+    assert result.ok, f"repro.lint found new violations:\n{rendered}"
+
+
+def test_cli_exits_zero_on_repo(lint_cli):
+    proc = lint_cli("src")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_baseline_only_grandfathers_known_population_baselines():
+    data = json.loads(BASELINE.read_text(encoding="utf-8"))
+    for entry in data["entries"].values():
+        assert entry["rule"] == "R103", entry
+        assert entry["path"].startswith("repro/baselines/"), entry
+
+
+def test_baseline_is_not_stale():
+    # Every allowance in the committed baseline must still match a real
+    # finding; stale entries would quietly grandfather future bugs.
+    raw = run_paths([SRC], all_rules(), baseline=Baseline())
+    fresh = Baseline.from_diagnostics(raw.diagnostics)
+    committed = json.loads(BASELINE.read_text(encoding="utf-8"))["entries"]
+    current = {
+        fp: entry["count"] for fp, entry in fresh.entries.items()
+    }
+    for fp, entry in committed.items():
+        assert current.get(fp, 0) >= entry["count"], (
+            f"stale baseline entry {fp}: {entry}"
+        )
+
+
+def test_every_inline_suppression_is_justified():
+    unjustified = []
+    for path in discover_files([SRC]):
+        ctx = load_context(path)
+        if isinstance(ctx, Diagnostic):  # pragma: no cover
+            continue
+        for sup in ctx.suppressions:
+            if not sup.reason:
+                unjustified.append(f"{path}:{sup.line}")
+    assert not unjustified, (
+        "suppressions without '-- justification': "
+        + ", ".join(unjustified)
+    )
+
+
+def test_lint_package_does_not_suppress_itself():
+    # The checker must not need to exempt its own code; the only
+    # directives inside repro.lint are the docstring examples in
+    # suppressions.py.
+    for path in discover_files([SRC / "repro" / "lint"]):
+        if path.name == "suppressions.py":
+            continue
+        sups = parse_suppressions(path.read_text(encoding="utf-8"))
+        assert not sups, f"unexpected suppression in {path}"

@@ -1,0 +1,134 @@
+"""R4xx — protocol hygiene rules."""
+
+from __future__ import annotations
+
+
+def codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+class TestOutboxInProtocol:
+    def test_outbox_import_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/bad.py": (
+                    "from repro.sim.message import Outbox\n"
+                )
+            }
+        )
+        assert codes(result) == ["R401"]
+
+    def test_outbox_construction_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/bad.py": """\
+                def smuggle():
+                    return Outbox()
+                """
+            }
+        )
+        assert codes(result) == ["R401"]
+
+    def test_message_import_passes(self, lint_tree):
+        # Protocols may build Message values for *local* counting (the
+        # substitution rule); only the send path is fenced off.
+        result = lint_tree(
+            {
+                "repro/core/good.py": (
+                    "from repro.sim.message import Message\n"
+                )
+            }
+        )
+        assert result.ok
+
+    def test_sim_layer_may_use_outbox(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/sim/ok.py": """\
+                from repro.sim.message import Outbox
+
+                def fresh():
+                    return Outbox()
+                """
+            }
+        )
+        assert result.ok
+
+
+class TestPrivateApiAccess:
+    def test_outbox_attribute_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/bad.py": """\
+                def bypass(api, dest, kind):
+                    api._outbox.send(dest, kind, None, None)
+                """
+            }
+        )
+        assert codes(result) == ["R402"]
+
+    def test_known_contacts_attribute_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/bad.py": """\
+                def everyone(api):
+                    return api._known_contacts
+                """
+            }
+        )
+        assert codes(result) == ["R402"]
+
+    def test_public_api_passes(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/good.py": """\
+                def greet(api, dest):
+                    if api.knows(dest):
+                        api.send(dest, "hello")
+                    else:
+                        api.broadcast("hello")
+                """
+            }
+        )
+        assert result.ok
+
+
+class TestSenderStamping:
+    def test_stamped_call_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/bad.py": """\
+                def forge(send, victim):
+                    return send.stamped(victim)
+                """
+            }
+        )
+        assert codes(result) == ["R403"]
+
+    def test_network_layer_stamps_freely(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/sim/ok.py": """\
+                def deliver(send, sender):
+                    return send.stamped(sender)
+                """
+            }
+        )
+        assert result.ok
+
+
+class TestSeededViolationCli:
+    def test_hygiene_violation_fails_with_location(
+        self, lint_cli, tmp_path
+    ):
+        bad = tmp_path / "repro" / "core" / "forger.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "def forge(api, dest):\n"
+            "    api._outbox.send(dest, 'x', None, None)\n",
+            encoding="utf-8",
+        )
+        proc = lint_cli(tmp_path, "--no-baseline")
+        assert proc.returncode == 1
+        assert "forger.py:2:" in proc.stdout
+        assert "R402" in proc.stdout

@@ -2,8 +2,6 @@
 
 import time
 
-import pytest
-
 from repro.adversary import QuorumSplitterStrategy, RandomNoiseStrategy
 from repro.core import EarlyConsensus
 from repro.net import ByzantineRunner, LockstepRunner, NetPeer

@@ -11,8 +11,6 @@ import socket
 import struct
 import time
 
-import pytest
-
 from repro.core import EarlyConsensus
 from repro.net import LocalCluster, NetPeer
 from repro.net.wire import encode_frame

@@ -3,7 +3,6 @@ avoidable: the peer is real but local, the periods are tiny)."""
 
 import time
 
-from repro.core import EarlyConsensus
 from repro.net import LockstepRunner, NetPeer
 from repro.sim.inbox import Inbox
 from repro.sim.node import NodeApi, Protocol

@@ -1,6 +1,5 @@
 """Tests for the wire codec and framing."""
 
-import io
 import socket
 
 import pytest

@@ -1,7 +1,5 @@
 """Record/replay: runs are reproducible witnesses."""
 
-import pytest
-
 from repro.adversary import QuorumSplitterStrategy
 from repro.core.consensus import EarlyConsensus
 from repro.sim.replay import (
