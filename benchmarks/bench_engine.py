@@ -1,0 +1,179 @@
+"""Round-engine hot-path benchmark: the all-broadcast workload.
+
+The simulator's hot loop is staging and delivery.  The engine stages
+O(logical sends) entries per round — one shared ``Message`` per
+broadcast, resolved to recipients at delivery time — where the
+pre-rewrite engine staged one ``(sender, send)`` tuple per *recipient*
+and re-stamped the message once per recipient (O(n²) churn per round on
+the all-broadcast workload every protocol here runs).
+
+This bench measures, at n ∈ {50, 200, 800} broadcasting nodes:
+
+* rounds/sec and deliveries/sec (wall clock),
+* staged entries per round vs deliveries per round — the allocation
+  footprint of the new path vs the per-recipient path (their ratio is
+  the per-round allocation reduction, ≈ n on this workload),
+* tracemalloc peak, and the engine's per-phase time split
+  (deliver / correct / adversary / stage) from ``Metrics``.
+
+Results go to ``results/BENCH_engine.json`` (and a table in
+``results/BENCH_engine.md``).  CI runs ``python benchmarks/bench_engine.py
+--sizes 50 --check results/BENCH_engine_baseline.json`` as a non-gating
+perf smoke: it fails only on a >2× rounds/sec regression against the
+committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+import tracemalloc
+
+from repro.sim.network import SyncNetwork
+from repro.sim.node import Inbox, NodeApi, Protocol
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+DEFAULT_SIZES = (50, 200, 800)
+#: Round budget per population size: enough rounds to dominate setup
+#: cost, small enough that n=800 stays in CI-smoke territory.
+ROUNDS_FOR = {50: 60, 200: 30, 800: 6}
+
+
+class AllBroadcast(Protocol):
+    """The hot-path workload: one broadcast per node per round."""
+
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        api.broadcast("beat", api.round % 7)
+
+
+def measure_engine(n: int, rounds: int | None = None, seed: int = 1) -> dict:
+    rounds = rounds or ROUNDS_FOR.get(n, 30)
+    net = SyncNetwork(seed=seed, clock=time.perf_counter)
+    for index in range(n):
+        net.add_correct(1000 + index, AllBroadcast())
+    tracemalloc.start()
+    start = time.perf_counter()
+    net.run(rounds, until_all_halted=False)
+    elapsed = time.perf_counter() - start
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    metrics = net.metrics
+    staged_per_round = metrics.staged_total / metrics.rounds
+    deliveries_per_round = metrics.deliveries_total / metrics.rounds
+    return {
+        "n": n,
+        "rounds": metrics.rounds,
+        "rounds_per_sec": round(rounds / elapsed, 2),
+        "deliveries_per_sec": round(metrics.deliveries_total / elapsed),
+        "staged_entries_per_round": round(staged_per_round, 1),
+        "deliveries_per_round": round(deliveries_per_round, 1),
+        # The per-recipient engine staged one tuple per delivery; the
+        # shared-queue engine stages one entry per logical send.
+        "alloc_reduction_vs_per_recipient": round(
+            deliveries_per_round / staged_per_round, 1
+        ),
+        "peak_traced_kib": round(peak / 1024),
+        "engine_time_by_phase": {
+            phase: round(seconds, 4)
+            for phase, seconds in sorted(
+                metrics.engine_time_by_phase.items()
+            )
+        },
+    }
+
+
+def build_results(sizes=DEFAULT_SIZES) -> dict:
+    return {
+        "workload": "all-broadcast",
+        "results": [measure_engine(n) for n in sizes],
+    }
+
+
+def write_outputs(payload: dict, out: pathlib.Path) -> None:
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    from benchmarks._harness import emit_table
+
+    emit_table(
+        "BENCH_engine",
+        [
+            {
+                "n": row["n"],
+                "rounds/s": row["rounds_per_sec"],
+                "deliveries/s": row["deliveries_per_sec"],
+                "staged/round": row["staged_entries_per_round"],
+                "deliv/round": row["deliveries_per_round"],
+                "alloc reduction": f"{row['alloc_reduction_vs_per_recipient']}x",
+                "peak KiB": row["peak_traced_kib"],
+            }
+            for row in payload["results"]
+        ],
+        title="Engine hot path: all-broadcast workload "
+        "(staged/round stays at n; the per-recipient engine staged "
+        "deliv/round)",
+    )
+
+
+def check_against_baseline(payload: dict, baseline_path: pathlib.Path) -> int:
+    """Exit status 1 on a >2x rounds/sec regression at any shared n."""
+    baseline = json.loads(baseline_path.read_text())
+    base_by_n = {row["n"]: row for row in baseline["results"]}
+    status = 0
+    for row in payload["results"]:
+        base = base_by_n.get(row["n"])
+        if base is None:
+            continue
+        ratio = base["rounds_per_sec"] / row["rounds_per_sec"]
+        verdict = "ok" if ratio <= 2.0 else "REGRESSION"
+        print(
+            f"n={row['n']}: {row['rounds_per_sec']} rounds/s vs baseline "
+            f"{base['rounds_per_sec']} (x{ratio:.2f} slower) {verdict}"
+        )
+        if ratio > 2.0:
+            status = 1
+    return status
+
+
+def test_engine_hot_path(benchmark):
+    payload = build_results(sizes=(50, 200))
+    write_outputs(payload, RESULTS_DIR / "BENCH_engine.json")
+    for row in payload["results"]:
+        # Staging is O(sends): on the all-broadcast workload each round
+        # stages exactly n entries, not n^2.
+        assert row["staged_entries_per_round"] == row["n"]
+        assert row["alloc_reduction_vs_per_recipient"] >= 3
+    benchmark.pedantic(
+        lambda: measure_engine(50, rounds=20), rounds=3, iterations=1
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES)
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=RESULTS_DIR / "BENCH_engine.json",
+    )
+    parser.add_argument(
+        "--check",
+        type=pathlib.Path,
+        default=None,
+        help="baseline JSON to compare rounds/sec against "
+        "(fails on a >2x regression)",
+    )
+    args = parser.parse_args(argv)
+    payload = build_results(sizes=tuple(args.sizes))
+    write_outputs(payload, args.out)
+    if args.check is not None:
+        return check_against_baseline(payload, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

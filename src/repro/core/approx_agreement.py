@@ -102,12 +102,19 @@ class ContinuousApproximateAgreement(Protocol):
         super().__init__()
         self.estimate = float(input_value)
         self.history: list[float] = []
+        #: False until this node has announced its own input once.  A
+        #: joiner's first inbox is no longer empty (broadcast recipients
+        #: are resolved at delivery time), so "have I spoken yet" must be
+        #: tracked explicitly: the paper's dynamic model has a joiner
+        #: *announce its input* in its first round — mixing starts after.
+        self._announced = False
 
     def on_round(self, api: NodeApi, inbox: Inbox) -> None:
-        if api.round > 1 or inbox:
+        if self._announced:
             values = _one_value_per_sender(inbox)
             if values:
                 self.estimate = trim_and_midpoint(values)
+        self._announced = True
         self.history.append(self.estimate)
         api.broadcast(KIND_VALUE, self.estimate)
         api.emit("approx-estimate", estimate=self.estimate)

@@ -51,6 +51,7 @@ from repro.core.quorum import (
     ViewTracker,
     at_least_third,
     at_least_two_thirds,
+    less_than_third,
 )
 from repro.core.rotor import RotorCore
 from repro.sim.inbox import Inbox
@@ -174,7 +175,11 @@ class EarlyConsensus(Protocol):
             inbox, self._current_coordinator
         )
         value, count = self._stashed_strong
-        if not at_least_third(count, self.n_v):
+        # The coordinator-switch condition is the paper's strict
+        # "count < n_v/3".  n_v >= 1 here (the frozen view contains at
+        # least ourselves), so this agrees with the pre-fix
+        # not-at_least_third formulation at every reachable point.
+        if less_than_third(count, self.n_v):
             if coordinator_opinion is not None:
                 self.x = coordinator_opinion
                 api.emit(

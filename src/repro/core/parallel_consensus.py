@@ -42,6 +42,7 @@ from repro.core.quorum import (
     ViewTracker,
     at_least_third,
     at_least_two_thirds,
+    less_than_third,
 )
 from repro.core.rotor import CandidateSet, RotorCore, RotorCursor  # noqa: F401
 from repro.sim.inbox import Inbox
@@ -217,7 +218,11 @@ class ConsensusInstance:
                 )
             value, count = self._stashed_strong
             self._stashed_strong = None
-            if not at_least_third(count, n_v) and opinion is not None:
+            # Coordinator switch uses the paper's strict count < n_v/3
+            # (an instance's frozen view always contains the node
+            # itself, so n_v >= 1 and this matches the pre-fix
+            # not-at_least_third formulation at every reachable point).
+            if less_than_third(count, n_v) and opinion is not None:
                 self.x = opinion
             if at_least_two_thirds(count, n_v):
                 self._terminate(api, value)

@@ -36,8 +36,16 @@ def at_least_two_thirds(count: int, n_v: int) -> bool:
 
 
 def less_than_third(count: int, n_v: int) -> bool:
-    """True when ``count < n_v / 3`` (the coordinator-switch condition)."""
-    return not at_least_third(count, n_v)
+    """True when ``count < n_v / 3`` (the coordinator-switch condition).
+
+    Exact integer form of the paper's inequality: ``3 * count < n_v``.
+    Note this is *not* the negation of :func:`at_least_third` at the
+    degenerate point ``count == 0, n_v == 0``: the paper's ``0 < 0/3``
+    is false, while "received at least a third" also fails for lack of a
+    real message.  Everywhere with ``n_v > 0`` or ``count > 0`` the two
+    predicates partition the plane.
+    """
+    return 3 * count < n_v
 
 
 class ViewTracker:

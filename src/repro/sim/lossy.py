@@ -14,11 +14,12 @@ breaks (benchmark ``bench_ablations``/synchrony).  Nothing in
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.sim.membership import MembershipSchedule
-from repro.sim.message import Send
-from repro.sim.network import SyncNetwork
+from repro.sim.message import Message
+from repro.sim.network import SyncNetwork, _NodeState
 from repro.sim.rng import make_rng
-from repro.types import NodeId
 
 
 class LossyNetwork(SyncNetwork):
@@ -38,25 +39,19 @@ class LossyNetwork(SyncNetwork):
         self._loss_rng = make_rng(seed, salt=0x10552E55)
         self.dropped = 0
 
-    def _stage(self, sends: list[tuple[NodeId, Send]]) -> None:
-        # _stage runs more than once per round (correct nodes, then the
-        # Byzantine batch); each delivery must face the loss lottery
-        # exactly once, so only the entries this call appends are drawn.
-        before = {
-            node_id: len(state.pending)
-            for node_id, state in self._nodes.items()
-        }
-        super()._stage(sends)
+    def _filter_deliveries(
+        self, state: _NodeState, messages: Sequence[Message]
+    ) -> Sequence[Message]:
+        # Each (recipient, message) delivery faces the loss lottery
+        # exactly once, at delivery time.  Draw order follows the
+        # engine's deterministic recipient iteration, so runs stay
+        # reproducible per seed.
         if self.drop_rate == 0.0:
-            return
-        for node_id, state in self._nodes.items():
-            start = before.get(node_id, 0)
-            if len(state.pending) <= start:
-                continue
-            kept = state.pending[:start]
-            for entry in state.pending[start:]:
-                if self._loss_rng.random() < self.drop_rate:
-                    self.dropped += 1
-                else:
-                    kept.append(entry)
-            state.pending[:] = kept
+            return messages
+        kept: list[Message] = []
+        for message in messages:
+            if self._loss_rng.random() < self.drop_rate:
+                self.dropped += 1
+            else:
+                kept.append(message)
+        return kept

@@ -22,11 +22,23 @@ class Metrics:
     sends_total: int = 0
     deliveries_total: int = 0
     bytes_total: int = 0
+    #: Entries appended to the engine's staging queues.  A broadcast
+    #: stages exactly one shared entry however many nodes receive it, so
+    #: this is the engine's per-round allocation footprint (the pre-O(sends)
+    #: engine staged one entry per recipient, i.e. deliveries_total).
+    staged_total: int = 0
     sends_by_node: Counter = field(default_factory=Counter)
     sends_by_kind: Counter = field(default_factory=Counter)
     bytes_by_kind: Counter = field(default_factory=Counter)
     sends_by_round: Counter = field(default_factory=Counter)
     deliveries_by_round: Counter = field(default_factory=Counter)
+    staged_by_round: Counter = field(default_factory=Counter)
+    #: Engine wall time by phase ("deliver", "correct", "adversary",
+    #: "stage") and by round.  Populated only when the network was built
+    #: with an injected clock (benchmarks); simulations themselves never
+    #: read wall time, so these never influence behaviour.
+    engine_time_by_phase: Counter = field(default_factory=Counter)
+    engine_time_by_round: Counter = field(default_factory=Counter)
 
     def record_send(
         self,
@@ -47,6 +59,18 @@ class Metrics:
         self.deliveries_total += count
         self.deliveries_by_round[round_no] += count
 
+    def record_staged(self, round_no: int, count: int = 1) -> None:
+        """Count entries entering the engine's staging queues."""
+        self.staged_total += count
+        self.staged_by_round[round_no] += count
+
+    def record_engine_time(
+        self, round_no: int, phase: str, seconds: float
+    ) -> None:
+        """Attribute engine wall time to a phase (observability only)."""
+        self.engine_time_by_phase[phase] += seconds
+        self.engine_time_by_round[round_no] += seconds
+
     def record_round(self, round_no: int) -> None:
         self.rounds = max(self.rounds, round_no)
 
@@ -57,10 +81,17 @@ class Metrics:
 
     def summary(self) -> dict:
         """A plain-dict summary suitable for reports and JSON dumps."""
-        return {
+        summary = {
             "rounds": self.rounds,
             "sends_total": self.sends_total,
             "deliveries_total": self.deliveries_total,
+            "staged_total": self.staged_total,
             "sends_per_round": round(self.sends_per_round, 2),
             "kinds": dict(self.sends_by_kind),
         }
+        if self.engine_time_by_phase:
+            summary["engine_time_by_phase"] = {
+                phase: round(seconds, 6)
+                for phase, seconds in self.engine_time_by_phase.items()
+            }
+        return summary

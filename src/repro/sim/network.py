@@ -5,7 +5,9 @@ Executes the id-only model exactly:
 * lock-step rounds; messages sent in round ``r`` arrive at round ``r + 1``;
 * broadcasts reach every participant alive at delivery time (including the
   sender — the paper's approximate agreement broadcasts "to all the nodes
-  (including self)");
+  (including self)", and including nodes that join between send and
+  delivery: the broadcast recipient set is resolved when the messages are
+  handed out, not when they are queued);
 * a correct node may direct-send only to prior contacts; the engine stamps
   sender ids so they cannot be forged;
 * duplicate messages from one sender within one round are discarded;
@@ -15,12 +17,21 @@ Executes the id-only model exactly:
 
 The engine knows nothing about any particular protocol; it moves messages,
 tracks contacts, applies membership changes, and records metrics/traces.
+
+Staging is O(logical sends), not O(sends x recipients): each ``Send`` is
+stamped into its immutable :class:`~repro.sim.message.Message` exactly once,
+broadcasts go into one per-round shared queue (every recipient's inbox
+aliases the same tuple of message objects), and only direct sends occupy
+per-node queues.  Duplicate suppression happens against the precomputed
+broadcast key set plus a small per-recipient set over the direct queue, so
+the all-broadcast hot path performs no per-recipient hashing at all.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Protocol as TypingProtocol
+from typing import Any, Callable, Iterable, Sequence
+from typing import Protocol as TypingProtocol
 
 from repro.errors import ConfigurationError, RoundLimitExceeded
 from repro.sim.inbox import Inbox
@@ -73,7 +84,10 @@ class _NodeState:
     joined_round: Round = 1
     left_round: Round | None = None
     contacts: set[NodeId] = field(default_factory=set)
-    pending: list[tuple[NodeId, Send]] = field(default_factory=list)
+    #: Stamped direct messages queued for delivery at the next round.
+    #: Broadcasts never appear here — they live in the network's shared
+    #: per-round broadcast queue and are resolved at delivery time.
+    direct: list[Message] = field(default_factory=list)
 
     @property
     def protocol(self) -> Protocol:
@@ -89,7 +103,9 @@ class SyncNetwork:
         rushing: bool = False,
         membership: MembershipSchedule | None = None,
         measure_bytes: bool = False,
+        clock: Callable[[], float] | None = None,
     ):
+        self.seed = seed
         self._rng = make_rng(seed)
         self.rushing = rushing
         self.membership = membership or MembershipSchedule()
@@ -99,7 +115,18 @@ class SyncNetwork:
         #: When set, every logical send is also costed in wire bytes
         #: using the repro.net frame codec (see Metrics.bytes_total).
         self.measure_bytes = measure_bytes
+        #: Optional monotonic-time source for per-phase engine timing
+        #: (Metrics.engine_time_by_phase).  The simulation itself never
+        #: reads a clock — timing is observability only, injected by
+        #: benchmarks, so determinism is untouched.
+        self._clock = clock
         self._nodes: dict[NodeId, _NodeState] = {}
+        #: Round-r broadcast queue: one shared Message per logical
+        #: broadcast, delivered to every node alive at round r + 1.
+        self._broadcasts: list[Message] = []
+        #: Value-equality keys of the queued broadcasts, for O(1)
+        #: duplicate suppression at stage and delivery time.
+        self._broadcast_keys: set[Message] = set()
 
     # ------------------------------------------------------------------
     # Population management
@@ -206,33 +233,49 @@ class SyncNetwork:
         """Execute one synchronous round."""
         self.round += 1
         self.metrics.record_round(self.round)
+        clock = self._clock
+        t0 = clock() if clock else 0.0
         self._apply_membership()
 
         inboxes = self._collect_inboxes()
+        t1 = clock() if clock else 0.0
 
         correct_sends: list[tuple[NodeId, Send]] = []
         for state in self._iter_alive(byzantine=False):
             sends = self._run_correct(state, inboxes.get(state.node_id, Inbox()))
             correct_sends.extend((state.node_id, s) for s in sends)
+        t2 = clock() if clock else 0.0
 
         byz_sends: list[tuple[NodeId, Send]] = []
-        rushing_traffic = tuple(correct_sends) if self.rushing else ()
-        for state in self._iter_alive(byzantine=True):
-            view = AdversaryView(
-                node_id=state.node_id,
-                round=self.round,
-                inbox=inboxes.get(state.node_id, Inbox()),
-                all_nodes=self.alive_ids,
-                correct_nodes=self.correct_ids & self.alive_ids,
-                byzantine_nodes=self.byzantine_ids & self.alive_ids,
-                rng=self._rng,
-                correct_traffic=rushing_traffic,
-            )
-            for send in state.behaviour.on_round(view):
-                byz_sends.append((state.node_id, send))
+        byzantine_states = self._iter_alive(byzantine=True)
+        if byzantine_states:
+            rushing_traffic = tuple(correct_sends) if self.rushing else ()
+            alive = self.alive_ids
+            correct_alive = self.correct_ids & alive
+            byzantine_alive = self.byzantine_ids & alive
+            for state in byzantine_states:
+                view = AdversaryView(
+                    node_id=state.node_id,
+                    round=self.round,
+                    inbox=inboxes.get(state.node_id, Inbox()),
+                    all_nodes=alive,
+                    correct_nodes=correct_alive,
+                    byzantine_nodes=byzantine_alive,
+                    rng=self._rng,
+                    correct_traffic=rushing_traffic,
+                )
+                for send in state.behaviour.on_round(view):
+                    byz_sends.append((state.node_id, send))
+        t3 = clock() if clock else 0.0
 
         self._stage(correct_sends)
         self._stage(byz_sends)
+        if clock:
+            t4 = clock()
+            self.metrics.record_engine_time(self.round, "deliver", t1 - t0)
+            self.metrics.record_engine_time(self.round, "correct", t2 - t1)
+            self.metrics.record_engine_time(self.round, "adversary", t3 - t2)
+            self.metrics.record_engine_time(self.round, "stage", t4 - t3)
 
     # ------------------------------------------------------------------
     # Internals
@@ -258,23 +301,63 @@ class SyncNetwork:
             self.remove(spec.node_id)
 
     def _collect_inboxes(self) -> dict[NodeId, Inbox]:
+        """Deliver the previous round's traffic.
+
+        The broadcast recipient set is resolved *here* — after this
+        round's membership changes — so a node joining at round ``r + 1``
+        receives the round-``r`` broadcasts (the model's "reaches every
+        node, including ones it has never heard of").  Every recipient's
+        inbox shares one tuple of broadcast message objects; only direct
+        messages need per-recipient dedup work.
+        """
+        broadcasts = tuple(self._broadcasts)
+        broadcast_keys = self._broadcast_keys
+        self._broadcasts = []
+        self._broadcast_keys = set()
+        broadcast_senders = {m.sender for m in broadcasts}
+
         inboxes: dict[NodeId, Inbox] = {}
         for state in self._nodes.values():
-            if not state.alive or not state.pending:
-                state.pending.clear()
+            direct = state.direct
+            if direct:
+                state.direct = []
+            if not state.alive:
                 continue
-            seen: set[Message] = set()
-            ordered: list[Message] = []
-            for sender, send in state.pending:
-                message = send.stamped(sender)
-                if message not in seen:  # per-round duplicate suppression
+            delivered: Sequence[Message] = broadcasts
+            if direct:
+                merged = list(broadcasts)
+                seen: set[Message] = set()
+                for message in direct:
+                    # Per-round duplicate suppression, keyed on the
+                    # stamped message: identical directs, and a direct
+                    # repeating one of this round's broadcasts, collapse.
+                    if message in broadcast_keys or message in seen:
+                        continue
                     seen.add(message)
-                    ordered.append(message)
-            state.pending.clear()
-            state.contacts.update(m.sender for m in ordered)
-            self.metrics.record_delivery(self.round, len(ordered))
-            inboxes[state.node_id] = Inbox(ordered)
+                    merged.append(message)
+                delivered = merged
+            delivered = self._filter_deliveries(state, delivered)
+            if not delivered:
+                continue
+            if delivered is broadcasts:
+                state.contacts.update(broadcast_senders)
+            else:
+                state.contacts.update(m.sender for m in delivered)
+            self.metrics.record_delivery(self.round, len(delivered))
+            inboxes[state.node_id] = Inbox(delivered)
         return inboxes
+
+    def _filter_deliveries(
+        self, state: _NodeState, messages: Sequence[Message]
+    ) -> Sequence[Message]:
+        """Hook: the messages actually handed to *state* this round.
+
+        The base engine delivers everything (the model's synchrony
+        guarantee); :class:`~repro.sim.lossy.LossyNetwork` overrides this
+        to drop deliveries.  ``messages`` may be the shared broadcast
+        tuple — implementations must not mutate it.
+        """
+        return messages
 
     def _run_correct(self, state: _NodeState, inbox: Inbox) -> Outbox:
         outbox = Outbox()
@@ -308,16 +391,25 @@ class SyncNetwork:
             return len(repr((send.kind, send.payload, send.instance)))
 
     def _stage(self, sends: list[tuple[NodeId, Send]]) -> None:
-        """Queue sends for delivery at the next round."""
-        alive = [s for s in self._nodes.values() if s.alive]
+        """Queue sends for delivery at the next round.
+
+        O(len(sends)): each send is stamped into its Message exactly
+        once.  Broadcasts join the shared per-round queue (recipients are
+        resolved at delivery time); direct sends join the destination's
+        queue if the destination currently exists and is alive.
+        """
         for sender, send in sends:
             self.metrics.record_send(
                 self.round, sender, send.kind, self._wire_cost(sender, send)
             )
+            message = send.stamped(sender)
             if send.dest is BROADCAST:
-                for state in alive:
-                    state.pending.append((sender, send))
+                if message not in self._broadcast_keys:
+                    self._broadcast_keys.add(message)
+                    self._broadcasts.append(message)
+                    self.metrics.record_staged(self.round)
             else:
                 state = self._nodes.get(send.dest)
                 if state is not None and state.alive:
-                    state.pending.append((sender, send))
+                    state.direct.append(message)
+                    self.metrics.record_staged(self.round)

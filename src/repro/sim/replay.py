@@ -25,6 +25,14 @@ from dataclasses import dataclass, field
 from repro.sim.network import SyncNetwork
 from repro.types import NodeId
 
+__all__ = [
+    "DeliveryRecord",
+    "RunRecording",
+    "RecordingNetwork",
+    "record_scenario",
+    "verify_replay",
+]
+
 
 @dataclass(frozen=True)
 class DeliveryRecord:
@@ -107,36 +115,36 @@ class RunRecording:
 
 
 class RecordingNetwork(SyncNetwork):
-    """A :class:`SyncNetwork` that records every delivery it makes."""
+    """A :class:`SyncNetwork` that records every delivery it makes.
+
+    Records are derived from the inboxes the engine actually hands out,
+    so the recording matches the simulation's duplicate suppression and
+    recipient resolution exactly by construction (an earlier version
+    re-derived deliveries from the staging queues with its own — subtly
+    different — dedup key).  The seed is read back from the constructed
+    network, so it is captured correctly whether it was passed
+    positionally or by keyword.
+    """
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
-        self.recording = RunRecording(seed=kwargs.get("seed", 0))
+        self.recording = RunRecording(seed=self.seed)
 
     def _collect_inboxes(self):
-        # Capture pending sends before the parent consumes them.
-        staged: list[tuple[NodeId, NodeId, object]] = []
-        for state in self._nodes.values():
-            if state.alive:
-                seen = set()
-                for sender, send in state.pending:
-                    key = (sender, send)
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    staged.append((state.node_id, sender, send))
         inboxes = super()._collect_inboxes()
-        for recipient, sender, send in staged:
-            self.recording.deliveries.append(
-                DeliveryRecord(
-                    round=self.round,
-                    sender=sender,
-                    recipient=recipient,
-                    kind=send.kind,
-                    payload_repr=repr(send.payload),
-                    instance_repr=repr(send.instance),
+        append = self.recording.deliveries.append
+        for recipient, inbox in inboxes.items():
+            for message in inbox:
+                append(
+                    DeliveryRecord(
+                        round=self.round,
+                        sender=message.sender,
+                        recipient=recipient,
+                        kind=message.kind,
+                        payload_repr=repr(message.payload),
+                        instance_repr=repr(message.instance),
+                    )
                 )
-            )
         return inboxes
 
     def finalize_recording(self) -> RunRecording:

@@ -35,10 +35,21 @@ class TestThresholds:
         assert not at_least_third(0, 0)
         assert not at_least_two_thirds(0, 0)
 
-    def test_less_than_third_is_negation(self):
+    def test_less_than_third_is_negation_off_origin(self):
+        # Everywhere with a real message or a non-empty view the two
+        # predicates partition the plane ...
         for count in range(0, 12):
             for n in range(0, 12):
+                if count == 0 and n == 0:
+                    continue
                 assert less_than_third(count, n) != at_least_third(count, n)
+
+    def test_origin_satisfies_neither_predicate(self):
+        # ... but at count = n_v = 0 the paper's inequality 0 < 0/3 is
+        # false, so "less than a third" must NOT hold (and "at least a
+        # third" already fails for lack of a real message).
+        assert not at_least_third(0, 0)
+        assert not less_than_third(0, 0)
 
     def test_integer_arithmetic_no_float_edge(self):
         # 2*(3k+1)/3 boundary: count = 2k+1 must fail, 2k+2 no...
@@ -91,6 +102,36 @@ class TestThresholdBoundaries:
         assert not less_than_third(k, n_v)
         assert less_than_third(k - 1, n_v)
         assert not at_least_third(k - 1, n_v)
+
+
+class TestCoordinatorSwitchCallSites:
+    """Audit of the coordinator-switch call sites for the (0, 0) fix.
+
+    ``EarlyConsensus._resolve`` and the parallel-consensus phase-round-5
+    branch are the only users of the switch condition (``core/rotor.py``
+    never evaluates it — the rotor only selects, it has no switch).
+    Both run against a frozen membership view that contains the node
+    itself, so ``n_v >= 1`` always holds there, and on that domain the
+    fixed strict predicate coincides with the old
+    ``not at_least_third`` formulation — the fix cannot change any
+    consensus schedule.
+    """
+
+    def test_predicates_coincide_on_the_reachable_domain(self):
+        for n_v in range(1, 40):
+            for count in range(0, n_v + 2):
+                assert less_than_third(count, n_v) == (
+                    not at_least_third(count, n_v)
+                )
+
+    def test_switch_boundary(self):
+        # n_v = 9: two strongprefers switch to the coordinator's
+        # opinion, three keep the own value.
+        assert less_than_third(2, 9)
+        assert not less_than_third(3, 9)
+        # Zero strongprefers always switch (for any non-empty view).
+        assert less_than_third(0, 1)
+        assert less_than_third(0, 9)
 
 
 class TestViewTracker:

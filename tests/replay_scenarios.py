@@ -1,0 +1,127 @@
+"""Representative scenarios pinned by committed replay recordings.
+
+These four runs — reliable broadcast, rotor, consensus, and parallel
+consensus, each under a rushing adversary — are the round engine's
+refactor safety net.  Their recordings live in ``tests/data/`` and are
+checked by ``tests/integration/test_replay_equivalence.py``: any engine
+change that alters a single delivery, output, or round count in any of
+them names the first diverging delivery.
+
+None of the scenarios uses a membership schedule, so their recordings
+are invariant under the delivery-time broadcast-recipient semantics
+(joiners are the only runs the fix intentionally changes).
+
+Regenerate after an *intentional* wire-behaviour change with::
+
+    PYTHONPATH=src python -m tests.replay_scenarios
+
+and document the change in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.adversary import (
+    EquivocatorStrategy,
+    MembershipLiarStrategy,
+    QuorumSplitterStrategy,
+)
+from repro.core.consensus import EarlyConsensus
+from repro.core.parallel_consensus import ParallelConsensus
+from repro.core.reliable_broadcast import ReliableBroadcast
+from repro.core.rotor import RotorCoordinator
+from repro.sim.runner import Scenario
+
+from tests.conftest import predict_ids
+
+DATA_DIR = pathlib.Path(__file__).parent / "data"
+
+
+def reliable_broadcast_scenario() -> Scenario:
+    correct_ids, _ = predict_ids(11, 6, 2)
+    sender = correct_ids[0]
+    return Scenario(
+        correct=6,
+        byzantine=2,
+        protocol_factory=lambda nid, i: ReliableBroadcast(
+            sender, "m" if nid == sender else None
+        ),
+        strategy_factory=lambda nid, i: MembershipLiarStrategy(),
+        seed=11,
+        rushing=True,
+        max_rounds=8,
+        until_all_halted=False,
+    )
+
+
+def rotor_scenario() -> Scenario:
+    return Scenario(
+        correct=6,
+        byzantine=2,
+        protocol_factory=lambda nid, i: RotorCoordinator(opinion=i),
+        strategy_factory=lambda nid, i: EquivocatorStrategy(
+            RotorCoordinator(opinion=-1)
+        ),
+        seed=6,
+        rushing=True,
+        max_rounds=50,
+    )
+
+
+def consensus_scenario() -> Scenario:
+    return Scenario(
+        correct=5,
+        byzantine=1,
+        protocol_factory=lambda nid, i: EarlyConsensus(i % 2),
+        strategy_factory=lambda nid, i: QuorumSplitterStrategy(
+            EarlyConsensus(0)
+        ),
+        seed=5,
+        rushing=True,
+        max_rounds=100,
+    )
+
+
+def parallel_consensus_scenario() -> Scenario:
+    return Scenario(
+        correct=6,
+        byzantine=2,
+        protocol_factory=lambda nid, i: ParallelConsensus({"k": i % 2}),
+        strategy_factory=lambda nid, i: QuorumSplitterStrategy(
+            ParallelConsensus({"k": 0})
+        ),
+        seed=7,
+        rushing=True,
+        max_rounds=80,
+    )
+
+
+#: name -> zero-argument Scenario builder, one per committed recording.
+SCENARIOS = {
+    "reliable_broadcast": reliable_broadcast_scenario,
+    "rotor": rotor_scenario,
+    "consensus": consensus_scenario,
+    "parallel_consensus": parallel_consensus_scenario,
+}
+
+
+def recording_path(name: str) -> pathlib.Path:
+    return DATA_DIR / f"replay_{name}.jsonl"
+
+
+def regenerate() -> None:
+    from repro.sim.replay import record_scenario
+
+    for name, build in SCENARIOS.items():
+        _result, recording = record_scenario(build())
+        recording.save(recording_path(name))
+        print(
+            f"{name}: {recording.rounds} rounds, "
+            f"{len(recording.deliveries)} deliveries -> "
+            f"{recording_path(name)}"
+        )
+
+
+if __name__ == "__main__":
+    regenerate()

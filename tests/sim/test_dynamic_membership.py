@@ -24,22 +24,36 @@ class TestScheduledJoins:
         net = SyncNetwork(membership=schedule)
         net.add_correct(1, Recorder())
         net.run(5, until_all_halted=False)
-        # first active round is 3, whose inbox is empty for the joiner
+        # First active round is 3 — and a broadcast reaches every node
+        # alive at *delivery* time, so the joiner already receives the
+        # round-2 broadcasts in its first inbox.
         assert min(joiner.heard_by_round) == 3
-        assert joiner.heard_by_round[3] == []
+        assert joiner.heard_by_round[3] == [1]
 
-    def test_joiner_does_not_get_pre_join_messages(self):
+    def test_joiner_receives_previous_round_broadcasts(self):
         schedule = MembershipSchedule()
         joiner = Recorder()
         schedule.join(4, 99, lambda: joiner)
         net = SyncNetwork(membership=schedule)
         net.add_correct(1, Recorder())
         net.run(6, until_all_halted=False)
-        # round-4 inbox holds messages sent at round 3, staged before the
-        # joiner existed: it must not see them.
-        assert joiner.heard_by_round[4] == []
-        # from round 5 it hears round-4 broadcasts
+        # Round-4 inbox holds the round-3 broadcasts.  They were queued
+        # before the joiner existed, but broadcast recipients are
+        # resolved at delivery time: a join at round r+1 must see the
+        # round-r broadcasts (the g <= n_v invariant depends on it).
+        assert joiner.heard_by_round[4] == [1]
         assert 1 in joiner.heard_by_round[5]
+
+    def test_joiner_misses_deliveries_before_its_join_round(self):
+        schedule = MembershipSchedule()
+        joiner = Recorder()
+        schedule.join(4, 99, lambda: joiner)
+        net = SyncNetwork(membership=schedule)
+        net.add_correct(1, Recorder())
+        net.run(6, until_all_halted=False)
+        # Rounds 1-3 were delivered before the join: the joiner has no
+        # inbox for them at all.
+        assert min(joiner.heard_by_round) == 4
 
     def test_joiner_messages_reach_existing_nodes(self):
         schedule = MembershipSchedule()

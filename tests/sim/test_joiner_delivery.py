@@ -1,0 +1,111 @@
+"""Regression tests for broadcast delivery to joining nodes.
+
+The model says a broadcast "reaches every node, including ones it has
+never heard of".  The pre-fix engine resolved broadcast recipients at
+*send* time, so a node joining via :class:`MembershipSchedule` at round
+``r + 1`` silently missed every round-``r`` broadcast — breaking the
+``g <= n_v`` invariant for late joiners.  These tests fail on that
+engine: recipients must be resolved at delivery time.
+
+Direct sends are unaffected: they are addressed to one concrete node id
+at send time and must never leak to a joiner.
+"""
+
+from repro.core.quorum import ViewTracker
+from repro.sim.inbox import Inbox
+from repro.sim.membership import MembershipSchedule
+from repro.sim.network import SyncNetwork
+from repro.sim.node import NodeApi, Protocol
+
+
+class BeatAndWhisper(Protocol):
+    """Broadcasts every round; direct-sends a whisper to every contact."""
+
+    def __init__(self):
+        super().__init__()
+        self.heard_by_round = {}
+
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        self.heard_by_round[api.round] = sorted(
+            (m.sender, m.kind) for m in inbox
+        )
+        api.broadcast("beat", api.round)
+        for sender in sorted(inbox.senders()):
+            if sender != api.node_id:
+                api.send(sender, "whisper", api.round)
+
+
+class TrackingJoiner(Protocol):
+    """Joiner that maintains n_v the way the paper's protocols do."""
+
+    def __init__(self):
+        super().__init__()
+        self.tracker = ViewTracker()
+        self.heard_by_round = {}
+        self.n_v_by_round = {}
+
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        self.tracker.observe(inbox)
+        self.heard_by_round[api.round] = sorted(
+            (m.sender, m.kind) for m in inbox
+        )
+        self.n_v_by_round[api.round] = self.tracker.n_v
+        api.broadcast("beat", api.round)
+
+
+def run_join_at(join_round: int, rounds: int = 7):
+    schedule = MembershipSchedule()
+    joiner = TrackingJoiner()
+    schedule.join(join_round, 99, lambda: joiner)
+    net = SyncNetwork(membership=schedule)
+    veterans = {1: BeatAndWhisper(), 2: BeatAndWhisper()}
+    for node_id, protocol in veterans.items():
+        net.add_correct(node_id, protocol)
+    net.run(rounds, until_all_halted=False)
+    return net, joiner, veterans
+
+
+class TestJoinerBroadcastDelivery:
+    def test_join_at_r_plus_1_receives_round_r_broadcasts(self):
+        # Joins at round 4; round-4 inboxes hold the round-3 sends.
+        _net, joiner, _ = run_join_at(4)
+        assert (1, "beat") in joiner.heard_by_round[4]
+        assert (2, "beat") in joiner.heard_by_round[4]
+
+    def test_joiner_never_receives_direct_sends_addressed_elsewhere(self):
+        # The veterans whisper to each other every round from round 2 on;
+        # none of those directs may leak into the joiner's inboxes.
+        _net, joiner, _ = run_join_at(4)
+        for round_no, heard in joiner.heard_by_round.items():
+            whispers = [(s, k) for s, k in heard if k == "whisper"]
+            if round_no <= 5:
+                # The joiner's first broadcast (round 4) lands at round
+                # 5; only from round 6 can a whisper be addressed to it.
+                assert whispers == []
+            else:
+                assert set(whispers) <= {(1, "whisper"), (2, "whisper")}
+
+    def test_n_v_converges_immediately_for_late_joiner(self):
+        # g <= n_v must hold from the joiner's very first round: both
+        # live correct veterans broadcast at round 3, so the round-4
+        # inbox already yields n_v = 2 (the pre-fix engine gave 0).
+        _net, joiner, _ = run_join_at(4)
+        assert joiner.n_v_by_round[4] == 2
+        # Self-delivery of its own round-4 broadcast arrives at round 5.
+        assert joiner.n_v_by_round[5] == 3
+
+    def test_veterans_gain_the_joiner_as_contact(self):
+        # Symmetric direction: the joiner's own broadcasts reach the
+        # veterans, who may then whisper back (contact tracking works
+        # across the join).
+        _net, joiner, veterans = run_join_at(4)
+        assert (99, "beat") in veterans[1].heard_by_round[5]
+        assert (1, "whisper") in joiner.heard_by_round[6]
+
+    def test_join_at_round_2_sees_initial_broadcasts(self):
+        # The earliest possible join: round 2 delivery includes every
+        # round-1 announcement, exactly what the paper's initialization
+        # argument needs.
+        _net, joiner, _ = run_join_at(2)
+        assert {(1, "beat"), (2, "beat")} <= set(joiner.heard_by_round[2])
+        assert joiner.n_v_by_round[2] == 2

@@ -276,3 +276,39 @@ class TestMetricsIntegration:
         net.add_correct(1, NeverHalts())
         net.run(4, until_all_halted=False)
         assert net.metrics.rounds == 4
+
+    def test_staging_is_per_logical_send_not_per_recipient(self):
+        class Beat(Protocol):
+            def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+                api.broadcast("beat", api.round)
+
+        # Three broadcasters: 3 staged entries per round, but each
+        # broadcast is delivered to all 3 nodes the following round.
+        net = SyncNetwork()
+        for node_id in (1, 2, 3):
+            net.add_correct(node_id, Beat())
+        net.run(3, until_all_halted=False)
+        assert net.metrics.staged_total == 3 * 3
+        assert net.metrics.deliveries_total == 2 * 9
+        assert net.metrics.staged_by_round[2] == 3
+        assert "staged_total" in net.metrics.summary()
+
+    def test_clock_injection_times_engine_phases(self):
+        ticks = iter(range(1000))
+        net = SyncNetwork(clock=lambda: float(next(ticks)))
+        net.add_correct(1, NeverHalts())
+        net.run(2, until_all_halted=False)
+        phases = net.metrics.engine_time_by_phase
+        assert set(phases) == {"deliver", "correct", "adversary", "stage"}
+        assert all(dt > 0 for dt in phases.values())
+        assert sum(net.metrics.engine_time_by_round.values()) == (
+            sum(phases.values())
+        )
+        assert "engine_time_by_phase" in net.metrics.summary()
+
+    def test_no_clock_means_no_engine_timings(self):
+        net = SyncNetwork()
+        net.add_correct(1, NeverHalts())
+        net.run(2, until_all_halted=False)
+        assert not net.metrics.engine_time_by_phase
+        assert "engine_time_by_phase" not in net.metrics.summary()
