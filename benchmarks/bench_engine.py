@@ -1,26 +1,32 @@
-"""Round-engine hot-path benchmark: the all-broadcast workload.
+"""Round-engine hot-path benchmark: all-broadcast and consensus.
 
-The simulator's hot loop is staging and delivery.  The engine stages
-O(logical sends) entries per round — one shared ``Message`` per
-broadcast, resolved to recipients at delivery time — where the
-pre-rewrite engine staged one ``(sender, send)`` tuple per *recipient*
-and re-stamped the message once per recipient (O(n²) churn per round on
-the all-broadcast workload every protocol here runs).
+The simulator's hot loop is staging, delivery, and quorum counting.
+The engine stages O(logical sends) entries per round — one shared
+``Message`` per broadcast, resolved to recipients at delivery time —
+where the pre-rewrite engine staged one ``(sender, send)`` tuple per
+*recipient* (O(n²) churn per round).  On top of that queue, all-broadcast
+recipients of a round now alias one shared ``InboxIndex``, so per-kind
+buckets and distinct-sender tallies are built once per round, not once
+per node.
 
-This bench measures, at n ∈ {50, 200, 800} broadcasting nodes:
+Two workloads:
 
-* rounds/sec and deliveries/sec (wall clock),
-* staged entries per round vs deliveries per round — the allocation
-  footprint of the new path vs the per-recipient path (their ratio is
-  the per-round allocation reduction, ≈ n on this workload),
-* tracemalloc peak, and the engine's per-phase time split
-  (deliver / correct / adversary / stage) from ``Metrics``.
+* ``all-broadcast`` — one broadcast per node per round at
+  n ∈ {50, 200, 800}: pure engine overhead, no inbox queries;
+* ``consensus`` — a full all-correct :class:`EarlyConsensus` run with
+  split 0/1 inputs at n ∈ {50, 200}: the quorum-counting path the
+  shared index amortizes (every node counts the same broadcasts).
+
+Each row reports rounds/sec and deliveries/sec (wall clock), staged
+entries vs deliveries per round (the allocation footprint vs the
+per-recipient engine), tracemalloc peak, and the engine's per-phase
+time split (deliver / correct / adversary / stage) from ``Metrics``.
 
 Results go to ``results/BENCH_engine.json`` (and a table in
 ``results/BENCH_engine.md``).  CI runs ``python benchmarks/bench_engine.py
 --sizes 50 --check results/BENCH_engine_baseline.json`` as a non-gating
-perf smoke: it fails only on a >2× rounds/sec regression against the
-committed baseline.
+perf smoke over both workloads: it fails only on a >2× rounds/sec
+regression against the committed baseline.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ import sys
 import time
 import tracemalloc
 
+from repro.core.consensus import EarlyConsensus
 from repro.sim.network import SyncNetwork
 from repro.sim.node import Inbox, NodeApi, Protocol
 
@@ -40,6 +47,12 @@ DEFAULT_SIZES = (50, 200, 800)
 #: Round budget per population size: enough rounds to dominate setup
 #: cost, small enough that n=800 stays in CI-smoke territory.
 ROUNDS_FOR = {50: 60, 200: 30, 800: 6}
+#: The consensus workload is O(n) rounds in the worst case; cap the
+#: population so the smoke stays a smoke.
+CONSENSUS_MAX_N = 200
+#: Generous round budget — the split-input all-correct run decides in a
+#: handful of phases.
+CONSENSUS_ROUND_LIMIT = 200
 
 
 class AllBroadcast(Protocol):
@@ -49,14 +62,10 @@ class AllBroadcast(Protocol):
         api.broadcast("beat", api.round % 7)
 
 
-def measure_engine(n: int, rounds: int | None = None, seed: int = 1) -> dict:
-    rounds = rounds or ROUNDS_FOR.get(n, 30)
-    net = SyncNetwork(seed=seed, clock=time.perf_counter)
-    for index in range(n):
-        net.add_correct(1000 + index, AllBroadcast())
+def _run_and_measure(net: SyncNetwork, run) -> dict:
     tracemalloc.start()
     start = time.perf_counter()
-    net.run(rounds, until_all_halted=False)
+    run(net)
     elapsed = time.perf_counter() - start
     _current, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
@@ -64,9 +73,8 @@ def measure_engine(n: int, rounds: int | None = None, seed: int = 1) -> dict:
     staged_per_round = metrics.staged_total / metrics.rounds
     deliveries_per_round = metrics.deliveries_total / metrics.rounds
     return {
-        "n": n,
         "rounds": metrics.rounds,
-        "rounds_per_sec": round(rounds / elapsed, 2),
+        "rounds_per_sec": round(metrics.rounds / elapsed, 2),
         "deliveries_per_sec": round(metrics.deliveries_total / elapsed),
         "staged_entries_per_round": round(staged_per_round, 1),
         "deliveries_per_round": round(deliveries_per_round, 1),
@@ -85,10 +93,52 @@ def measure_engine(n: int, rounds: int | None = None, seed: int = 1) -> dict:
     }
 
 
+def measure_engine(n: int, rounds: int | None = None, seed: int = 1) -> dict:
+    rounds = rounds or ROUNDS_FOR.get(n, 30)
+    net = SyncNetwork(seed=seed, clock=time.perf_counter)
+    for index in range(n):
+        net.add_correct(1000 + index, AllBroadcast())
+    row = _run_and_measure(
+        net, lambda network: network.run(rounds, until_all_halted=False)
+    )
+    return {"n": n, **row}
+
+
+def measure_consensus(n: int, seed: int = 1) -> dict:
+    """A full all-correct EarlyConsensus run with split 0/1 inputs.
+
+    Unlike the all-broadcast drain, every node here *queries* its inbox
+    (payload tallies, sender sets, per-kind filters) every round — the
+    exact shape the shared per-round index computes once for all n
+    recipients.
+    """
+    net = SyncNetwork(seed=seed, clock=time.perf_counter)
+    for index in range(n):
+        net.add_correct(1000 + index, EarlyConsensus(index % 2))
+    row = _run_and_measure(
+        net, lambda network: network.run(CONSENSUS_ROUND_LIMIT)
+    )
+    outputs = set(net.outputs().values())
+    assert len(outputs) == 1, "consensus workload failed to agree"
+    return {"n": n, "decision": outputs.pop(), **row}
+
+
 def build_results(sizes=DEFAULT_SIZES) -> dict:
     return {
-        "workload": "all-broadcast",
-        "results": [measure_engine(n) for n in sizes],
+        "workloads": [
+            {
+                "workload": "all-broadcast",
+                "results": [measure_engine(n) for n in sizes],
+            },
+            {
+                "workload": "consensus",
+                "results": [
+                    measure_consensus(n)
+                    for n in sizes
+                    if n <= CONSENSUS_MAX_N
+                ],
+            },
+        ],
     }
 
 
@@ -101,7 +151,9 @@ def write_outputs(payload: dict, out: pathlib.Path) -> None:
         "BENCH_engine",
         [
             {
+                "workload": entry["workload"],
                 "n": row["n"],
+                "rounds": row["rounds"],
                 "rounds/s": row["rounds_per_sec"],
                 "deliveries/s": row["deliveries_per_sec"],
                 "staged/round": row["staged_entries_per_round"],
@@ -109,42 +161,58 @@ def write_outputs(payload: dict, out: pathlib.Path) -> None:
                 "alloc reduction": f"{row['alloc_reduction_vs_per_recipient']}x",
                 "peak KiB": row["peak_traced_kib"],
             }
-            for row in payload["results"]
+            for entry in payload["workloads"]
+            for row in entry["results"]
         ],
-        title="Engine hot path: all-broadcast workload "
-        "(staged/round stays at n; the per-recipient engine staged "
-        "deliv/round)",
+        title="Engine hot path: all-broadcast drain and full consensus "
+        "runs (staged/round stays at n; recipients of a round's "
+        "broadcasts share one inbox index)",
     )
 
 
 def check_against_baseline(payload: dict, baseline_path: pathlib.Path) -> int:
-    """Exit status 1 on a >2x rounds/sec regression at any shared n."""
+    """Exit status 1 on a >2x rounds/sec regression at any shared
+    (workload, n) pair."""
     baseline = json.loads(baseline_path.read_text())
-    base_by_n = {row["n"]: row for row in baseline["results"]}
+    base_by_key = {
+        (entry["workload"], row["n"]): row
+        for entry in baseline["workloads"]
+        for row in entry["results"]
+    }
     status = 0
-    for row in payload["results"]:
-        base = base_by_n.get(row["n"])
-        if base is None:
-            continue
-        ratio = base["rounds_per_sec"] / row["rounds_per_sec"]
-        verdict = "ok" if ratio <= 2.0 else "REGRESSION"
-        print(
-            f"n={row['n']}: {row['rounds_per_sec']} rounds/s vs baseline "
-            f"{base['rounds_per_sec']} (x{ratio:.2f} slower) {verdict}"
-        )
-        if ratio > 2.0:
-            status = 1
+    for entry in payload["workloads"]:
+        for row in entry["results"]:
+            base = base_by_key.get((entry["workload"], row["n"]))
+            if base is None:
+                continue
+            ratio = base["rounds_per_sec"] / row["rounds_per_sec"]
+            verdict = "ok" if ratio <= 2.0 else "REGRESSION"
+            print(
+                f"{entry['workload']} n={row['n']}: "
+                f"{row['rounds_per_sec']} rounds/s vs baseline "
+                f"{base['rounds_per_sec']} (x{ratio:.2f} slower) {verdict}"
+            )
+            if ratio > 2.0:
+                status = 1
     return status
 
 
 def test_engine_hot_path(benchmark):
     payload = build_results(sizes=(50, 200))
     write_outputs(payload, RESULTS_DIR / "BENCH_engine.json")
-    for row in payload["results"]:
+    by_name = {
+        entry["workload"]: entry["results"]
+        for entry in payload["workloads"]
+    }
+    for row in by_name["all-broadcast"]:
         # Staging is O(sends): on the all-broadcast workload each round
         # stages exactly n entries, not n^2.
         assert row["staged_entries_per_round"] == row["n"]
         assert row["alloc_reduction_vs_per_recipient"] >= 3
+    for row in by_name["consensus"]:
+        # Every run must actually decide (inside the budget) and agree.
+        assert row["rounds"] < CONSENSUS_ROUND_LIMIT
+        assert row["decision"] in (0, 1)
     benchmark.pedantic(
         lambda: measure_engine(50, rounds=20), rounds=3, iterations=1
     )

@@ -59,6 +59,8 @@ def _one_value_per_sender(inbox: Inbox) -> list[float]:
     anyway.
     """
     per_sender: dict[NodeId, float] = {}
+    # filter() serves the index's kind bucket, so with a round-shared
+    # index only the ``value`` messages are walked, once per recipient.
     for message in inbox.filter(KIND_VALUE):
         value = message.payload
         if not isinstance(value, (int, float)) or isinstance(value, bool):

@@ -78,7 +78,7 @@ class BinaryKingConsensus(Protocol):
             self.rotor.echo_inits(api, inbox)
             return
 
-        inbox = Inbox(m for m in inbox if m.sender in self.membership)
+        inbox = inbox.restricted_to(self.membership)
         self.rotor.absorb(inbox)
         phase_round = (api.round - INIT_ROUNDS - 1) % PHASE_LENGTH + 1
         if phase_round == 1:

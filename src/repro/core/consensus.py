@@ -205,8 +205,13 @@ class EarlyConsensus(Protocol):
     # Counting with frozen membership and the substitution rule
     # ------------------------------------------------------------------
     def _restricted(self, inbox: Inbox) -> Inbox:
-        """Discard messages from nodes outside the frozen view."""
-        return Inbox(m for m in inbox if m.sender in self.membership)
+        """Discard messages from nodes outside the frozen view.
+
+        In the common case — every sender already inside the frozen
+        view — this returns the original inbox, keeping the engine's
+        shared per-round index shared across all counting below.
+        """
+        return inbox.restricted_to(self.membership)
 
     def _best(self, inbox: Inbox, kind: str) -> tuple[Hashable, int]:
         """Most-supported payload of *kind*, after substitution.

@@ -428,10 +428,14 @@ class ParallelConsensusMachine:
         self._run_instances(api, inbox)
 
     def _restrict(self, inbox: Inbox) -> Inbox:
-        """Only accept messages from the recorded membership."""
+        """Only accept messages from the recorded membership.
+
+        Returns the original inbox (with its round-shared index) when no
+        out-of-view sender is present — the steady-state case.
+        """
         if self.membership is None:
             return inbox
-        return Inbox(m for m in inbox if m.sender in self.membership)
+        return inbox.restricted_to(self.membership)
 
     # -- internals ----------------------------------------------------------
     def _start_pending(self, api: NodeApi) -> None:

@@ -61,7 +61,9 @@ class ViewTracker:
         self._senders: set[NodeId] = set()
 
     def observe(self, inbox: Inbox) -> None:
-        self._senders.update(m.sender for m in inbox)
+        # The inbox's distinct-sender set is cached on its (possibly
+        # round-shared) index, so this is a set union, not a message scan.
+        self._senders.update(inbox.senders())
 
     def observe_ids(self, ids: Iterable[NodeId]) -> None:
         self._senders.update(ids)
@@ -119,9 +121,18 @@ class EchoVoting:
         for sender, tag in pairs:
             self._pending.setdefault(tag, set()).add(sender)
 
-    def absorb_inbox(self, inbox: Inbox, kind: str) -> None:
-        """Record all echoes of *kind* from an inbox (payload is the tag)."""
-        self.absorb((m.sender, m.payload) for m in inbox.filter(kind))
+    def absorb_inbox(
+        self, inbox: Inbox, kind: str, instance: Hashable = ...
+    ) -> None:
+        """Record all echoes of *kind* from an inbox (payload is the tag).
+
+        Iterates the index's kind bucket (shared across recipients of a
+        round's broadcast tuple) rather than re-scanning every message.
+        """
+        self.absorb(
+            (m.sender, m.payload)
+            for m in inbox.filter(kind, instance=instance)
+        )
 
     def evaluate(self, n_v: int, round_no: Round) -> EchoDecision:
         """Apply both thresholds, clear the pending buffer, and report."""

@@ -79,10 +79,7 @@ class CandidateSet:
 
     def absorb(self, inbox: Inbox) -> None:
         """Accumulate echo observations from a real round's inbox."""
-        self.voting.absorb(
-            (m.sender, m.payload)
-            for m in inbox.filter(KIND_ECHO, instance=self.instance)
-        )
+        self.voting.absorb_inbox(inbox, KIND_ECHO, instance=self.instance)
 
     def evaluate(
         self, api: NodeApi, n_v: int, broadcast: bool = True
@@ -243,10 +240,11 @@ class RotorCore:
         """
         if coordinator is None:
             return None
-        for message in inbox.from_sender(coordinator).filter(
-            KIND_OPINION, instance=instance
-        ):
-            return message.payload
+        # The sender bucket comes from the inbox's (round-shared) index;
+        # only the coordinator's few messages are scanned per caller.
+        for message in inbox.from_sender(coordinator):
+            if message.matches(KIND_OPINION, instance=instance):
+                return message.payload
         return None
 
 

@@ -10,6 +10,7 @@ from repro.lint.rules.determinism import (
     WallClockCall,
 )
 from repro.lint.rules.hygiene import (
+    InboxInternalsAccess,
     OutboxInProtocol,
     PrivateApiAccess,
     SenderStamping,
@@ -42,6 +43,7 @@ def all_rules() -> list[Rule]:
         OutboxInProtocol(),
         PrivateApiAccess(),
         SenderStamping(),
+        InboxInternalsAccess(),
     ]
 
 

@@ -23,6 +23,13 @@ PROTOCOL_LAYERS = ("core", "baselines")
 #: NodeApi / engine internals that protocol code must not reach into.
 PRIVATE_ATTRS = frozenset({"_outbox", "_known_contacts", "_nodes"})
 
+#: Inbox / InboxIndex internals.  The engine shares one index across all
+#: recipients of a round's broadcasts; protocol code that reaches past
+#: the query methods could observe (or worse, mutate) cache state that
+#: other nodes alias.  ``_best`` is deliberately absent: it is also a
+#: legitimate protocol-layer method name (EarlyConsensus._best).
+INBOX_PRIVATE_ATTRS = frozenset({"_messages", "_index"})
+
 
 class OutboxInProtocol(Rule):
     """R401: protocols never import or construct an Outbox."""
@@ -117,4 +124,45 @@ class SenderStamping(Rule):
                     "calling .stamped() in protocol code forges the "
                     "network's sender-stamping step",
                     hint="the engine stamps senders at delivery",
+                )
+
+
+class InboxInternalsAccess(Rule):
+    """R404: protocols query inboxes, never their shared internals."""
+
+    code = "R404"
+    name = "inbox-internals-access"
+    description = (
+        "protocol code may not touch Inbox/InboxIndex internals "
+        "(_messages, _index, or index cache attributes); the index is "
+        "shared across every recipient of a round's broadcasts"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_layer(*PROTOCOL_LAYERS)
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr in INBOX_PRIVATE_ATTRS:
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"'.{node.attr}' is private Inbox state, aliased "
+                    "across nodes by the shared per-round index",
+                    hint="use filter/senders/count/best_payload/"
+                    "restricted_to/merged_with",
+                )
+            elif (
+                node.attr.startswith("_")
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr == "index"
+            ):
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"'.index.{node.attr}' reaches into the shared "
+                    "InboxIndex cache internals",
+                    hint="use the Inbox query methods",
                 )

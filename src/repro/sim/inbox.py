@@ -3,6 +3,20 @@
 Every count is a count of *distinct senders*: the model discards duplicate
 messages from the same sender within a round, and all threshold arguments
 ("received at least ``n_v/3`` echo messages") quantify over senders.
+
+Counting is backed by a lazily-built :class:`InboxIndex`.  The engine hands
+every recipient of the round's shared broadcast tuple an :class:`Inbox`
+view that *aliases one shared index*, so per-kind buckets, sender sets and
+payload tallies are materialized once per round instead of once per node —
+the paper's protocols are all distinct-sender threshold counts over a
+common view, which is exactly the shape this amortizes.
+
+Shared-index invariant: an index (and every bucket, set and counter it
+caches) is a pure *view* over one immutable tuple of
+:class:`~repro.sim.message.Message` objects.  Nothing may mutate a message
+or a cached structure after it is handed out; the query methods therefore
+return fresh ``set``/``Counter`` copies wherever callers could mutate the
+result.  Mutating an index internal is a bug, not a feature request.
 """
 
 from __future__ import annotations
@@ -13,12 +27,311 @@ from typing import Any, Hashable, Iterable, Iterator
 from repro.sim.message import Message
 from repro.types import NodeId
 
+#: Query-key sentinel: ``...`` (Ellipsis) means "don't care", so ``None``
+#: stays a matchable payload / instance value.
+_ANY = ...
+
+
+class InboxIndex:
+    """Lazily-built, cached query structures over one message tuple.
+
+    One index may be shared by many :class:`Inbox` views (the engine's
+    all-broadcast hot path); every cache therefore fills in at most once
+    per round, on first demand, whichever recipient asks first.
+
+    A *layered* index (:meth:`layered`) stacks a small tuple of extra
+    messages on top of a base index without re-scanning the base: the
+    engine uses it for recipients whose delivery adds direct messages to
+    the shared broadcasts, and :meth:`Inbox.merged_with` uses it for the
+    paper's missing-message substitution rule.
+    """
+
+    __slots__ = (
+        "messages",
+        "_base",
+        "_extra",
+        "_by_kind",
+        "_by_sender",
+        "_by_instance",
+        "_all_senders",
+        "_sender_sets",
+        "_payload_senders",
+        "_best",
+        "_kinds",
+        "_instances",
+        "_subs",
+    )
+
+    def __init__(
+        self,
+        messages: Iterable[Message] = (),
+        *,
+        _base: "InboxIndex | None" = None,
+        _extra: tuple[Message, ...] = (),
+    ):
+        self.messages: tuple[Message, ...] = tuple(messages)
+        self._base = _base
+        self._extra = _extra
+        self._by_kind: dict[str, tuple[Message, ...]] | None = None
+        self._by_sender: dict[NodeId, tuple[Message, ...]] | None = None
+        self._by_instance: dict[Hashable, tuple[Message, ...]] | None = None
+        self._all_senders: frozenset[NodeId] | None = None
+        #: (kind, payload, instance) -> frozenset of matching senders.
+        self._sender_sets: dict[tuple, frozenset[NodeId]] = {}
+        #: (kind, instance) -> {payload: frozenset of senders}, in first-
+        #: occurrence order (the tie-break in best_payload depends on it).
+        self._payload_senders: dict[tuple, dict[Hashable, frozenset]] = {}
+        #: (kind, instance) -> cached best_payload result.
+        self._best: dict[tuple, tuple[Hashable, int]] = {}
+        self._kinds: frozenset[str] | None = None
+        self._instances: frozenset[Hashable] | None = None
+        #: Cached sub-Inbox views for kind/sender/instance buckets, so
+        #: repeated ``filter(kind)`` calls across recipients share one
+        #: sub-index too.
+        self._subs: dict[tuple, "Inbox"] = {}
+
+    @classmethod
+    def layered(
+        cls, base: "InboxIndex", extra: Iterable[Message]
+    ) -> "InboxIndex":
+        """An index over ``base.messages + extra`` reusing base caches.
+
+        Returns *base* itself when ``extra`` is empty (the overlay would
+        be indistinguishable from it).
+        """
+        extra = tuple(extra)
+        if not extra:
+            return base
+        return cls(base.messages + extra, _base=base, _extra=extra)
+
+    # ------------------------------------------------------------------
+    # Buckets
+    # ------------------------------------------------------------------
+    def _bucket_map(
+        self, field: str, key_of
+    ) -> dict[Hashable, tuple[Message, ...]]:
+        """Build (once) a first-occurrence-ordered bucket dict."""
+        buckets = getattr(self, field)
+        if buckets is None:
+            base = self._base
+            if base is not None:
+                # Copy only the dict; base buckets are immutable tuples,
+                # so the overlay appends extras per affected key without
+                # re-scanning (or copying) the base messages.
+                buckets = dict(base._bucket_map(field, key_of))
+                for message in self._extra:
+                    key = key_of(message)
+                    buckets[key] = buckets.get(key, ()) + (message,)
+            else:
+                grouped: dict[Hashable, list[Message]] = {}
+                for message in self.messages:
+                    grouped.setdefault(key_of(message), []).append(message)
+                buckets = {key: tuple(ms) for key, ms in grouped.items()}
+            setattr(self, field, buckets)
+        return buckets
+
+    def kind_bucket(self, kind: str) -> tuple[Message, ...]:
+        return self._bucket_map("_by_kind", lambda m: m.kind).get(kind, ())
+
+    def sender_bucket(self, sender: NodeId) -> tuple[Message, ...]:
+        return self._bucket_map("_by_sender", lambda m: m.sender).get(
+            sender, ()
+        )
+
+    def instance_bucket(self, instance: Hashable) -> tuple[Message, ...]:
+        return self._bucket_map("_by_instance", lambda m: m.instance).get(
+            instance, ()
+        )
+
+    # ------------------------------------------------------------------
+    # Sender sets and payload tallies
+    # ------------------------------------------------------------------
+    @property
+    def all_senders(self) -> frozenset[NodeId]:
+        senders = self._all_senders
+        if senders is None:
+            base = self._base
+            if base is not None:
+                senders = base.all_senders | {
+                    m.sender for m in self._extra
+                }
+            else:
+                senders = frozenset(m.sender for m in self.messages)
+            self._all_senders = senders
+        return senders
+
+    def sender_set(
+        self, kind: str | None, payload: Any, instance: Any
+    ) -> frozenset[NodeId]:
+        """Distinct senders of messages matching the filters (cached)."""
+        if kind is None and payload is _ANY and instance is _ANY:
+            return self.all_senders
+        key = (kind, payload, instance)
+        cached = self._sender_sets.get(key)
+        if cached is None:
+            base = self._base
+            if base is not None:
+                cached = base.sender_set(kind, payload, instance) | {
+                    m.sender
+                    for m in self._extra
+                    if m.matches(kind, payload, instance)
+                }
+            else:
+                pool = (
+                    self.kind_bucket(kind)
+                    if kind is not None
+                    else self.messages
+                )
+                cached = frozenset(
+                    m.sender
+                    for m in pool
+                    if m.matches(kind, payload, instance)
+                )
+            self._sender_sets[key] = cached
+        return cached
+
+    def payload_senders(
+        self, kind: str, instance: Any
+    ) -> dict[Hashable, frozenset[NodeId]]:
+        """``payload -> distinct senders`` for one kind (cached).
+
+        Insertion order is the first occurrence of each payload among the
+        matching messages — :meth:`best_payload` relies on it so that
+        exact ties (equal count *and* equal repr) resolve identically to
+        the historical linear scan.
+        """
+        key = (kind, instance)
+        cached = self._payload_senders.get(key)
+        if cached is None:
+            base = self._base
+            if base is not None:
+                cached = dict(base.payload_senders(kind, instance))
+                for m in self._extra:
+                    if not m.matches(kind, instance=instance):
+                        continue
+                    existing = cached.get(m.payload)
+                    if existing is None:
+                        cached[m.payload] = frozenset((m.sender,))
+                    elif m.sender not in existing:
+                        cached[m.payload] = existing | {m.sender}
+            else:
+                grouped: dict[Hashable, set[NodeId]] = {}
+                for m in self.kind_bucket(kind):
+                    if m.matches(kind, instance=instance):
+                        grouped.setdefault(m.payload, set()).add(m.sender)
+                cached = {
+                    payload: frozenset(senders)
+                    for payload, senders in grouped.items()
+                }
+            self._payload_senders[key] = cached
+        return cached
+
+    def best_payload(
+        self, kind: str, instance: Any
+    ) -> tuple[Hashable, int]:
+        key = (kind, instance)
+        cached = self._best.get(key)
+        if cached is None:
+            tallies = self.payload_senders(kind, instance)
+            if not tallies:
+                cached = (None, 0)
+            else:
+                payload, senders = max(
+                    tallies.items(),
+                    key=lambda item: (len(item[1]), repr(item[0])),
+                )
+                cached = (payload, len(senders))
+            self._best[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Kind / instance surveys
+    # ------------------------------------------------------------------
+    @property
+    def all_kinds(self) -> frozenset[str]:
+        kinds = self._kinds
+        if kinds is None:
+            base = self._base
+            if base is not None:
+                kinds = base.all_kinds | {m.kind for m in self._extra}
+            else:
+                kinds = frozenset(m.kind for m in self.messages)
+            self._kinds = kinds
+        return kinds
+
+    @property
+    def all_instances(self) -> frozenset[Hashable]:
+        instances = self._instances
+        if instances is None:
+            base = self._base
+            if base is not None:
+                instances = base.all_instances | {
+                    m.instance
+                    for m in self._extra
+                    if m.instance is not None
+                }
+            else:
+                instances = frozenset(
+                    m.instance
+                    for m in self.messages
+                    if m.instance is not None
+                )
+            self._instances = instances
+        return instances
+
+    # ------------------------------------------------------------------
+    # Shared sub-views
+    # ------------------------------------------------------------------
+    def _sub(self, key: tuple, bucket: tuple[Message, ...]) -> "Inbox":
+        sub = self._subs.get(key)
+        if sub is None:
+            sub = Inbox(bucket)
+            self._subs[key] = sub
+        return sub
+
+    def sub_by_kind(self, kind: str) -> "Inbox":
+        return self._sub(("kind", kind), self.kind_bucket(kind))
+
+    def sub_by_sender(self, sender: NodeId) -> "Inbox":
+        return self._sub(("sender", sender), self.sender_bucket(sender))
+
+    def sub_by_instance(self, instance: Hashable) -> "Inbox":
+        return self._sub(
+            ("instance", instance), self.instance_bucket(instance)
+        )
+
 
 class Inbox:
-    """The set of messages a node received at the start of a round."""
+    """The set of messages a node received at the start of a round.
 
-    def __init__(self, messages: Iterable[Message] = ()):
-        self._messages: tuple[Message, ...] = tuple(messages)
+    An inbox is an immutable view: either over its own message tuple, or
+    (``index=``) over a prebuilt — possibly shared — :class:`InboxIndex`.
+    All query methods route through the index and return results
+    identical to a naive linear scan (pinned by
+    ``tests/properties/test_index_coherence.py``).
+    """
+
+    __slots__ = ("_messages", "_index")
+
+    def __init__(
+        self,
+        messages: Iterable[Message] = (),
+        *,
+        index: InboxIndex | None = None,
+    ):
+        if index is not None:
+            self._messages = index.messages
+        else:
+            self._messages = tuple(messages)
+        self._index = index
+
+    @property
+    def index(self) -> InboxIndex:
+        """The (lazily created) query index backing this inbox."""
+        idx = self._index
+        if idx is None:
+            idx = self._index = InboxIndex(self._messages)
+        return idx
 
     def __iter__(self) -> Iterator[Message]:
         return iter(self._messages)
@@ -35,9 +348,27 @@ class Inbox:
         payload: Any = ...,
         instance: Any = ...,
     ) -> "Inbox":
-        """Return a sub-inbox of the messages matching the filters."""
+        """Return a sub-inbox of the messages matching the filters.
+
+        The common single-axis filters (by kind, by instance) return a
+        view over the index's cached bucket, so every recipient of a
+        shared round index gets the *same* sub-inbox object — and one
+        shared sub-index with it.
+        """
+        if payload is _ANY:
+            if kind is not None and instance is _ANY:
+                return self.index.sub_by_kind(kind)
+            if kind is None and instance is not _ANY:
+                return self.index.sub_by_instance(instance)
+            if kind is None and instance is _ANY:
+                return self
+        pool = (
+            self.index.kind_bucket(kind)
+            if kind is not None
+            else self._messages
+        )
         return Inbox(
-            m for m in self._messages if m.matches(kind, payload, instance)
+            m for m in pool if m.matches(kind, payload, instance)
         )
 
     def senders(
@@ -47,9 +378,7 @@ class Inbox:
         instance: Any = ...,
     ) -> set[NodeId]:
         """Distinct senders of matching messages."""
-        return {
-            m.sender for m in self._messages if m.matches(kind, payload, instance)
-        }
+        return set(self.index.sender_set(kind, payload, instance))
 
     def count(
         self,
@@ -58,7 +387,7 @@ class Inbox:
         instance: Any = ...,
     ) -> int:
         """Number of distinct senders of matching messages."""
-        return len(self.senders(kind, payload, instance))
+        return len(self.index.sender_set(kind, payload, instance))
 
     def payload_counts(
         self, kind: str, instance: Any = ...
@@ -68,11 +397,14 @@ class Inbox:
         This is the primitive behind "if received at least ``2n_v/3``
         ``input(x)`` for some value ``x``": take the max of the counter.
         """
-        per_payload: dict[Hashable, set[NodeId]] = {}
-        for m in self._messages:
-            if m.matches(kind, instance=instance):
-                per_payload.setdefault(m.payload, set()).add(m.sender)
-        return Counter({p: len(s) for p, s in per_payload.items()})
+        return Counter(
+            {
+                payload: len(senders)
+                for payload, senders in self.index.payload_senders(
+                    kind, instance
+                ).items()
+            }
+        )
 
     def best_payload(
         self, kind: str, instance: Any = ...
@@ -82,15 +414,11 @@ class Inbox:
         Ties break deterministically on the payload repr so that runs are
         reproducible.  Returns ``(None, 0)`` when nothing matches.
         """
-        counts = self.payload_counts(kind, instance=instance)
-        if not counts:
-            return None, 0
-        best = max(counts.items(), key=lambda item: (item[1], repr(item[0])))
-        return best
+        return self.index.best_payload(kind, instance)
 
     def from_sender(self, sender: NodeId) -> "Inbox":
         """Messages received from one specific node."""
-        return Inbox(m for m in self._messages if m.sender == sender)
+        return self.index.sub_by_sender(sender)
 
     def received_from(
         self,
@@ -101,21 +429,36 @@ class Inbox:
     ) -> bool:
         """True when *sender* sent a matching message this round."""
         return any(
-            m.sender == sender and m.matches(kind, payload, instance)
-            for m in self._messages
+            m.matches(kind, payload, instance)
+            for m in self.index.sender_bucket(sender)
         )
 
     def kinds(self, instance: Any = ...) -> set[str]:
         """The set of message kinds present (optionally within an instance)."""
-        return {
-            m.kind for m in self._messages if m.matches(None, instance=instance)
-        }
+        if instance is _ANY:
+            return set(self.index.all_kinds)
+        return {m.kind for m in self.index.instance_bucket(instance)}
 
     def instances(self) -> set[Hashable]:
         """The set of instance tags present (excluding untagged messages)."""
-        return {m.instance for m in self._messages if m.instance is not None}
+        return set(self.index.all_instances)
+
+    def restricted_to(self, members: frozenset[NodeId]) -> "Inbox":
+        """The sub-inbox of messages whose sender is in *members*.
+
+        Returns *self* when no sender falls outside *members* — the
+        common case for frozen-membership protocols after
+        initialization, which keeps the round's shared index shared.
+        """
+        if self.index.all_senders <= members:
+            return self
+        return Inbox(m for m in self._messages if m.sender in members)
 
     def merged_with(self, extra: Iterable[Message]) -> "Inbox":
         """A new inbox with *extra* messages appended (used for the paper's
-        missing-message substitution rule)."""
-        return Inbox((*self._messages, *extra))
+        missing-message substitution rule).
+
+        The result layers the extras over this inbox's index, so counting
+        the merged view never re-scans (or re-indexes) the base messages.
+        """
+        return Inbox(index=InboxIndex.layered(self.index, extra))

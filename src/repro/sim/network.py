@@ -25,6 +25,15 @@ aliases the same tuple of message objects), and only direct sends occupy
 per-node queues.  Duplicate suppression happens against the precomputed
 broadcast key set plus a small per-recipient set over the direct queue, so
 the all-broadcast hot path performs no per-recipient hashing at all.
+
+Delivery is O(quorum work), not O(nodes x quorum work): recipients of the
+shared broadcast tuple also alias one shared
+:class:`~repro.sim.inbox.InboxIndex`, so each per-kind distinct-sender
+count the protocols ask for is computed once per round, not once per node;
+recipients with surviving direct messages get a private overlay index
+layered on the shared one.  Per-node engine state that is identical from
+round to round (the contacts frozenset handed to NodeApi, the sorted
+alive-node lists) is cached and invalidated only when it can change.
 """
 
 from __future__ import annotations
@@ -34,7 +43,7 @@ from typing import Any, Callable, Iterable, Sequence
 from typing import Protocol as TypingProtocol
 
 from repro.errors import ConfigurationError, RoundLimitExceeded
-from repro.sim.inbox import Inbox
+from repro.sim.inbox import Inbox, InboxIndex
 from repro.sim.membership import MembershipSchedule
 from repro.sim.message import BROADCAST, Message, Outbox, Send
 from repro.sim.metrics import Metrics
@@ -42,6 +51,11 @@ from repro.sim.node import NodeApi, Protocol
 from repro.sim.rng import Random, make_rng
 from repro.sim.trace import Trace
 from repro.types import NodeId, Round
+
+
+#: Shared empty inbox for nodes with no deliveries this round.  Inboxes
+#: are immutable views, so one instance serves every such node.
+_EMPTY_INBOX = Inbox()
 
 
 class ByzantineActor(TypingProtocol):
@@ -88,10 +102,26 @@ class _NodeState:
     #: Broadcasts never appear here — they live in the network's shared
     #: per-round broadcast queue and are resolved at delivery time.
     direct: list[Message] = field(default_factory=list)
+    #: Cached frozenset view of ``contacts`` for NodeApi construction.
+    #: Contacts only ever grow (delivery-time ``update`` calls), so a
+    #: length match proves the cache is current — the steady-state round
+    #: rebuilds nothing.
+    contacts_frozen: frozenset[NodeId] = frozenset()
+    #: Recycled per-node NodeApi (round / contacts / outbox fields are
+    #: refreshed each round before ``on_round`` runs).  The engine drains
+    #: the outbox within the same round, so reuse is unobservable to a
+    #: well-behaved protocol and saves two allocations per node-round.
+    api: NodeApi | None = None
 
     @property
     def protocol(self) -> Protocol:
         return self.behaviour
+
+    def contacts_view(self) -> frozenset[NodeId]:
+        frozen = self.contacts_frozen
+        if len(frozen) != len(self.contacts):
+            frozen = self.contacts_frozen = frozenset(self.contacts)
+        return frozen
 
 
 class SyncNetwork:
@@ -127,6 +157,9 @@ class SyncNetwork:
         #: Value-equality keys of the queued broadcasts, for O(1)
         #: duplicate suppression at stage and delivery time.
         self._broadcast_keys: set[Message] = set()
+        #: Sorted alive-node lists keyed by byzantine flag, rebuilt only
+        #: when the population changes (join / leave / removal).
+        self._alive_cache: dict[bool, list[_NodeState]] = {}
 
     # ------------------------------------------------------------------
     # Population management
@@ -148,6 +181,7 @@ class SyncNetwork:
             byzantine=byzantine,
             joined_round=max(self.round + 1, 1),
         )
+        self._alive_cache.clear()
 
     def remove(self, node_id: NodeId) -> None:
         """Forcibly remove a node (adversary-driven leave / crash)."""
@@ -155,6 +189,7 @@ class SyncNetwork:
         if state is not None and state.alive:
             state.alive = False
             state.left_round = self.round
+            self._alive_cache.clear()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -241,9 +276,15 @@ class SyncNetwork:
         t1 = clock() if clock else 0.0
 
         correct_sends: list[tuple[NodeId, Send]] = []
+        run_correct = self._run_correct
+        get_inbox = inboxes.get
         for state in self._iter_alive(byzantine=False):
-            sends = self._run_correct(state, inboxes.get(state.node_id, Inbox()))
-            correct_sends.extend((state.node_id, s) for s in sends)
+            sends = run_correct(
+                state, get_inbox(state.node_id, _EMPTY_INBOX)
+            )
+            if sends:
+                node_id = state.node_id
+                correct_sends.extend([(node_id, s) for s in sends])
         t2 = clock() if clock else 0.0
 
         byz_sends: list[tuple[NodeId, Send]] = []
@@ -257,7 +298,7 @@ class SyncNetwork:
                 view = AdversaryView(
                     node_id=state.node_id,
                     round=self.round,
-                    inbox=inboxes.get(state.node_id, Inbox()),
+                    inbox=inboxes.get(state.node_id, _EMPTY_INBOX),
                     all_nodes=alive,
                     correct_nodes=correct_alive,
                     byzantine_nodes=byzantine_alive,
@@ -281,15 +322,21 @@ class SyncNetwork:
     # Internals
     # ------------------------------------------------------------------
     def _iter_alive(self, byzantine: bool) -> list[_NodeState]:
-        # Deterministic order: ascending node id.
-        return sorted(
-            (
-                s
-                for s in self._nodes.values()
-                if s.alive and s.byzantine == byzantine
-            ),
-            key=lambda s: s.node_id,
-        )
+        # Deterministic order: ascending node id.  The sorted list is
+        # cached until the population changes (register / remove), so
+        # the steady-state round pays no per-round sort.
+        cached = self._alive_cache.get(byzantine)
+        if cached is None:
+            cached = sorted(
+                (
+                    s
+                    for s in self._nodes.values()
+                    if s.alive and s.byzantine == byzantine
+                ),
+                key=lambda s: s.node_id,
+            )
+            self._alive_cache[byzantine] = cached
+        return cached
 
     def _apply_membership(self) -> None:
         for spec in self.membership.joins_at(self.round):
@@ -307,26 +354,33 @@ class SyncNetwork:
         round's membership changes — so a node joining at round ``r + 1``
         receives the round-``r`` broadcasts (the model's "reaches every
         node, including ones it has never heard of").  Every recipient's
-        inbox shares one tuple of broadcast message objects; only direct
-        messages need per-recipient dedup work.
+        inbox shares one tuple of broadcast message objects *and one
+        query index over it*: per-kind buckets and distinct-sender
+        tallies are built once per round, by whichever recipient asks
+        first, instead of once per node.  Recipients whose delivery adds
+        direct messages get a private overlay index layered on the
+        shared one; only those direct extras need per-recipient work.
         """
         broadcasts = tuple(self._broadcasts)
         broadcast_keys = self._broadcast_keys
         self._broadcasts = []
         self._broadcast_keys = set()
         broadcast_senders = {m.sender for m in broadcasts}
+        shared_index: InboxIndex | None = None
 
         inboxes: dict[NodeId, Inbox] = {}
+        round_no = self.round
+        record_delivery = self.metrics.record_delivery
         for state in self._nodes.values():
             direct = state.direct
             if direct:
                 state.direct = []
             if not state.alive:
                 continue
-            delivered: Sequence[Message] = broadcasts
+            extras: tuple[Message, ...] = ()
             if direct:
-                merged = list(broadcasts)
                 seen: set[Message] = set()
+                fresh: list[Message] = []
                 for message in direct:
                     # Per-round duplicate suppression, keyed on the
                     # stamped message: identical directs, and a direct
@@ -334,17 +388,39 @@ class SyncNetwork:
                     if message in broadcast_keys or message in seen:
                         continue
                     seen.add(message)
-                    merged.append(message)
-                delivered = merged
-            delivered = self._filter_deliveries(state, delivered)
+                    fresh.append(message)
+                extras = tuple(fresh)
+            # When every direct deduplicated against this round's
+            # broadcasts, the recipient rides the shared tuple/index and
+            # the cheap broadcast-contacts path like everyone else.
+            raw: Sequence[Message] = (
+                broadcasts + extras if extras else broadcasts
+            )
+            delivered = self._filter_deliveries(state, raw)
             if not delivered:
                 continue
-            if delivered is broadcasts:
-                state.contacts.update(broadcast_senders)
+            if delivered is raw:
+                if extras and broadcasts:
+                    if shared_index is None:
+                        shared_index = InboxIndex(broadcasts)
+                    inbox = Inbox(
+                        index=InboxIndex.layered(shared_index, extras)
+                    )
+                    state.contacts.update(broadcast_senders)
+                    state.contacts.update(m.sender for m in extras)
+                elif extras:
+                    inbox = Inbox(extras)
+                    state.contacts.update(m.sender for m in extras)
+                else:
+                    if shared_index is None:
+                        shared_index = InboxIndex(broadcasts)
+                    inbox = Inbox(index=shared_index)
+                    state.contacts.update(broadcast_senders)
             else:
+                inbox = Inbox(delivered)
                 state.contacts.update(m.sender for m in delivered)
-            self.metrics.record_delivery(self.round, len(delivered))
-            inboxes[state.node_id] = Inbox(delivered)
+            record_delivery(round_no, len(delivered))
+            inboxes[state.node_id] = inbox
         return inboxes
 
     def _filter_deliveries(
@@ -359,19 +435,36 @@ class SyncNetwork:
         """
         return messages
 
-    def _run_correct(self, state: _NodeState, inbox: Inbox) -> Outbox:
-        outbox = Outbox()
-        if state.protocol.halted:
-            return outbox
-        api = NodeApi(
-            node_id=state.node_id,
-            round_no=self.round,
-            known_contacts=frozenset(state.contacts),
-            outbox=outbox,
-            trace_sink=self.trace.record,
-        )
-        state.protocol.on_round(api, inbox)
-        return outbox
+    def _run_correct(
+        self, state: _NodeState, inbox: Inbox
+    ) -> list[Send] | tuple[Send, ...]:
+        protocol = state.behaviour
+        if protocol.halted:
+            return ()
+        api = state.api
+        if api is None:
+            api = state.api = NodeApi(
+                state.node_id,
+                self.round,
+                state.contacts_view(),
+                Outbox(),
+                self.trace.record,
+            )
+        else:
+            api.round = self.round
+            # contacts_view() inlined: this runs once per node per round.
+            frozen = state.contacts_frozen
+            if len(frozen) != len(state.contacts):
+                frozen = state.contacts_frozen = frozenset(state.contacts)
+            api._known_contacts = frozen
+        outbox = api._outbox
+        if outbox.sends:
+            # A fresh list, not clear(): last round's sends were already
+            # consumed by _stage, but anything still holding that list
+            # must not see it emptied under its feet.
+            outbox.sends = []
+        protocol.on_round(api, inbox)
+        return outbox.sends
 
     def _wire_cost(self, sender: NodeId, send: Send) -> int:
         """Size of the send as a repro.net frame (0 when not measuring)."""

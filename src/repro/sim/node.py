@@ -27,6 +27,14 @@ class NodeApi:
     * the sender id on the wire is stamped by the network, not the caller.
     """
 
+    __slots__ = (
+        "node_id",
+        "round",
+        "_known_contacts",
+        "_outbox",
+        "_trace_sink",
+    )
+
     def __init__(
         self,
         node_id: NodeId,

@@ -118,6 +118,36 @@ class TestSubstitutionCounting:
         # we never sent a prefer: nothing to mirror
         assert protocol._best(inbox, KIND_PREFER) == (0, 1)
 
+    def test_layered_counting_matches_flat_rebuild(self):
+        # _best now layers the substitution phantoms over the inbox's
+        # existing index instead of re-indexing everything; the counted
+        # result must be exactly what a from-scratch inbox would give,
+        # including the deterministic tie-break.
+        protocol = primed_consensus(membership=(1, 2, 3, 4, 5, 6), x=1)
+        protocol._last_sent[KIND_PREFER] = 1
+        protocol._phase_live = frozenset({1, 2})
+        real = [
+            Message(2, KIND_PREFER, 0),
+            Message(3, KIND_PREFER, 1),
+            Message(4, KIND_PREFER, 0),
+        ]
+        inbox = Inbox(real)
+        inbox.best_payload(KIND_PREFER)  # prime the base index first
+        phantoms = [
+            Message(node, KIND_PREFER, 1) for node in (5, 6)
+        ]
+        flat = Inbox(real + phantoms).best_payload(KIND_PREFER)
+        assert protocol._best(inbox, KIND_PREFER) == flat == (1, 3)
+        # and the base inbox is untouched by the overlay
+        assert inbox.best_payload(KIND_PREFER) == (0, 2)
+
+    def test_merged_with_layers_instead_of_reindexing(self):
+        inbox = Inbox([Message(2, KIND_PREFER, 0)])
+        base_index = inbox.index
+        merged = inbox.merged_with([Message(3, KIND_PREFER, 0)])
+        assert merged.index._base is base_index
+        assert merged.best_payload(KIND_PREFER) == (0, 2)
+
 
 class TestFrozenMembership:
     def test_strangers_discarded(self):
@@ -130,6 +160,13 @@ class TestFrozenMembership:
         )
         restricted = protocol._restricted(inbox)
         assert restricted.senders() == {2}
+
+    def test_all_members_means_same_inbox_object(self):
+        # When no sender falls outside the frozen view, restriction is
+        # the identity — the round's shared index stays shared.
+        protocol = primed_consensus(membership=(1, 2, 3))
+        inbox = Inbox([Message(2, KIND_INPUT, 0), Message(3, KIND_INPUT, 1)])
+        assert protocol._restricted(inbox) is inbox
 
     def test_membership_frozen_from_round_two_inbox(self):
         protocol = EarlyConsensus(0)

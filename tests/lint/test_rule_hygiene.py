@@ -117,6 +117,83 @@ class TestSenderStamping:
         assert result.ok
 
 
+class TestInboxInternalsAccess:
+    def test_messages_attribute_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/bad.py": """\
+                def peek(inbox):
+                    return inbox._messages[0]
+                """
+            }
+        )
+        assert codes(result) == ["R404"]
+
+    def test_index_attribute_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/bad.py": """\
+                def steal(inbox):
+                    return inbox._index
+                """
+            }
+        )
+        assert codes(result) == ["R404"]
+
+    def test_index_cache_chain_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/bad.py": """\
+                def poison(inbox):
+                    inbox.index._by_kind = {}
+                """
+            }
+        )
+        assert codes(result) == ["R404"]
+
+    def test_query_methods_pass(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/good.py": """\
+                def count(inbox, frozen_view):
+                    box = inbox.restricted_to(frozen_view)
+                    return box.best_payload("input")
+                """
+            }
+        )
+        assert result.ok
+
+    def test_own_best_helper_not_confused_with_index_cache(
+        self, lint_tree
+    ):
+        # EarlyConsensus has a _best *method*; only Inbox internals and
+        # `.index._xxx` chains are fenced off.
+        result = lint_tree(
+            {
+                "repro/core/good.py": """\
+                class Proto:
+                    def _best(self, inbox, kind):
+                        return inbox.best_payload(kind)
+
+                    def run(self, inbox):
+                        return self._best(inbox, "input")
+                """
+            }
+        )
+        assert result.ok
+
+    def test_sim_layer_may_touch_internals(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/sim/ok.py": """\
+                def alias(inbox):
+                    return inbox._messages
+                """
+            }
+        )
+        assert result.ok
+
+
 class TestSeededViolationCli:
     def test_hygiene_violation_fails_with_location(
         self, lint_cli, tmp_path

@@ -1,0 +1,173 @@
+"""Randomized coherence check: indexed Inbox queries vs naive scans.
+
+Every :class:`~repro.sim.inbox.Inbox` query routes through a lazily
+built — possibly shared, possibly layered — ``InboxIndex``.  The
+contract is that indexing is invisible: for any message multiset
+(duplicate senders, exact duplicate messages, instance tags, overlay
+stacks, any cache-priming order) every query returns exactly what a
+naive linear scan over the message tuple returns.
+
+Randomization is seeded through :func:`repro.sim.rng.make_rng`, so every
+failure here replays byte-for-byte from its seed.
+"""
+
+from repro.sim.inbox import Inbox, InboxIndex
+from repro.sim.message import Message
+from repro.sim.rng import make_rng
+
+KINDS = ("echo", "input", "prefer")
+PAYLOADS = (0, 1, "v", None)
+INSTANCES = (None, "x", ("t", 1))
+SENDERS = tuple(range(6))
+
+#: The query matrix both implementations are evaluated over.
+QUERY_KINDS = (None,) + KINDS
+QUERY_PAYLOADS = (...,) + PAYLOADS
+QUERY_INSTANCES = (...,) + INSTANCES
+
+
+def random_messages(rng, size):
+    """A message list with duplicate senders and exact duplicates."""
+    out = []
+    while len(out) < size:
+        out.append(
+            Message(
+                sender=rng.choice(SENDERS),
+                kind=rng.choice(KINDS),
+                payload=rng.choice(PAYLOADS),
+                instance=rng.choice(INSTANCES),
+            )
+        )
+        if rng.random() < 0.2:
+            out.append(rng.choice(out))
+    return out[:size]
+
+
+# ----------------------------------------------------------------------
+# The naive reference: plain linear scans, no caching anywhere.
+# ----------------------------------------------------------------------
+def naive_senders(messages, kind=None, payload=..., instance=...):
+    return {
+        m.sender for m in messages if m.matches(kind, payload, instance)
+    }
+
+
+def naive_tallies(messages, kind, instance=...):
+    per_payload = {}
+    for m in messages:
+        if m.matches(kind, instance=instance):
+            per_payload.setdefault(m.payload, set()).add(m.sender)
+    return per_payload
+
+
+def naive_best(messages, kind, instance=...):
+    tallies = naive_tallies(messages, kind, instance)
+    if not tallies:
+        return (None, 0)
+    payload, senders = max(
+        tallies.items(), key=lambda item: (len(item[1]), repr(item[0]))
+    )
+    return payload, len(senders)
+
+
+def assert_coherent(box, messages):
+    """Run the full query matrix against the naive reference."""
+    assert tuple(box) == tuple(messages)
+    for kind in QUERY_KINDS:
+        for payload in QUERY_PAYLOADS:
+            for instance in QUERY_INSTANCES:
+                expect = naive_senders(messages, kind, payload, instance)
+                assert box.senders(kind, payload, instance) == expect
+                assert box.count(kind, payload, instance) == len(expect)
+                filtered = box.filter(kind, payload, instance)
+                assert list(filtered) == [
+                    m
+                    for m in messages
+                    if m.matches(kind, payload, instance)
+                ]
+    for kind in KINDS:
+        for instance in QUERY_INSTANCES:
+            tallies = naive_tallies(messages, kind, instance)
+            counts = box.payload_counts(kind, instance)
+            assert dict(counts) == {
+                p: len(s) for p, s in tallies.items()
+            }
+            assert box.best_payload(kind, instance) == naive_best(
+                messages, kind, instance
+            )
+    for sender in SENDERS:
+        expect_msgs = [m for m in messages if m.sender == sender]
+        assert list(box.from_sender(sender)) == expect_msgs
+        assert box.received_from(sender) == bool(expect_msgs)
+    assert box.kinds() == {m.kind for m in messages}
+    assert box.instances() == {
+        m.instance for m in messages if m.instance is not None
+    }
+
+
+class TestIndexCoherence:
+    def test_indexed_queries_match_naive_scans(self):
+        for seed in range(25):
+            rng = make_rng(seed)
+            messages = random_messages(rng, rng.randrange(0, 40))
+            assert_coherent(Inbox(messages), messages)
+
+    def test_cache_priming_order_is_irrelevant(self):
+        # The index fills its caches on first demand; whichever query
+        # arrives first (a tallying best_payload, a bucket filter, a
+        # bare senders()) must leave every later answer unchanged.
+        for seed in range(10):
+            rng = make_rng(seed, salt=1)
+            messages = random_messages(rng, 30)
+            cold = Inbox(messages)
+            primed = Inbox(messages)
+            primed.best_payload("echo")
+            primed.filter("input")
+            primed.senders()
+            primed.from_sender(0)
+            assert_coherent(primed, messages)
+            assert_coherent(cold, messages)
+
+    def test_shared_index_views_agree(self):
+        # Two Inbox views over one index (the engine's all-broadcast
+        # path): queries on one prime caches the other then reuses, and
+        # single-axis filters alias the very same sub-inbox object.
+        for seed in range(10):
+            rng = make_rng(seed, salt=2)
+            messages = random_messages(rng, 30)
+            index = InboxIndex(messages)
+            first = Inbox(index=index)
+            second = Inbox(index=index)
+            first.best_payload("echo")
+            first.senders("input")
+            assert first.filter("echo") is second.filter("echo")
+            assert first.from_sender(3) is second.from_sender(3)
+            assert_coherent(second, messages)
+
+    def test_layered_overlay_matches_flat_rebuild(self):
+        # merged_with() layers extras over the base index; the result
+        # must be indistinguishable from indexing base+extras from
+        # scratch, and the base view must stay untouched.
+        for seed in range(15):
+            rng = make_rng(seed, salt=3)
+            base_messages = random_messages(rng, rng.randrange(0, 25))
+            extras = random_messages(rng, rng.randrange(1, 10))
+            base = Inbox(base_messages)
+            base.best_payload("echo")  # prime caches before layering
+            merged = base.merged_with(extras)
+            combined = list(base_messages) + list(extras)
+            assert_coherent(merged, combined)
+            assert_coherent(base, base_messages)
+
+    def test_nested_overlays(self):
+        rng = make_rng(7, salt=4)
+        first = random_messages(rng, 12)
+        second = random_messages(rng, 5)
+        third = random_messages(rng, 5)
+        box = Inbox(first).merged_with(second).merged_with(third)
+        assert_coherent(box, first + second + third)
+
+    def test_layering_nothing_returns_the_base_index(self):
+        messages = [Message(1, "echo", "m")]
+        base = Inbox(messages)
+        assert InboxIndex.layered(base.index, ()) is base.index

@@ -106,3 +106,59 @@ class TestFiltering:
         assert not Inbox()
         assert len(Inbox()) == 0
         assert inbox_of((1, "a", None))
+
+
+class TestIndexViews:
+    def test_restricted_to_is_identity_when_all_members(self):
+        box = inbox_of((1, "a", None), (2, "b", None))
+        assert box.restricted_to(frozenset({1, 2, 3})) is box
+
+    def test_restricted_to_drops_strangers(self):
+        box = inbox_of((1, "a", None), (9, "a", None))
+        restricted = box.restricted_to(frozenset({1}))
+        assert restricted.senders() == {1}
+        assert len(restricted) == 1
+
+    def test_single_axis_filters_are_cached_views(self):
+        box = inbox_of((1, "a", None, "i"), (2, "b", None))
+        assert box.filter("a") is box.filter("a")
+        assert box.filter(instance="i") is box.filter(instance="i")
+        assert box.from_sender(1) is box.from_sender(1)
+        assert box.filter() is box
+
+    def test_payload_counts_returns_a_fresh_counter(self):
+        # Callers may mutate the Counter (e.g. += phantom votes); the
+        # shared index must hand out copies, never its own cache.
+        box = inbox_of((1, "input", 0), (2, "input", 0))
+        first = box.payload_counts("input")
+        first[0] = 999
+        assert box.payload_counts("input")[0] == 2
+
+    def test_senders_returns_a_fresh_set(self):
+        box = inbox_of((1, "a", None))
+        grabbed = box.senders()
+        grabbed.add(42)
+        assert box.senders() == {1}
+
+    def test_merged_with_stacks_repeatedly(self):
+        box = inbox_of((1, "input", 0))
+        merged = box.merged_with([Message(2, "input", 0)]).merged_with(
+            [Message(3, "input", 1)]
+        )
+        assert merged.best_payload("input") == (0, 2)
+        assert len(merged) == 3
+
+    def test_merged_duplicate_sender_not_double_counted(self):
+        box = inbox_of((1, "input", 0))
+        merged = box.merged_with([Message(1, "input", 0)])
+        assert merged.count("input", payload=0) == 1
+
+    def test_query_after_priming_other_view_of_same_index(self):
+        from repro.sim.inbox import InboxIndex
+
+        index = InboxIndex(
+            [Message(1, "input", 0), Message(2, "input", 1)]
+        )
+        primer, reader = Inbox(index=index), Inbox(index=index)
+        assert primer.best_payload("input") == reader.best_payload("input")
+        assert reader.senders("input") == {1, 2}

@@ -191,6 +191,104 @@ class TestLifecycle:
         assert net.alive_ids == frozenset({1})
 
 
+class InboxKeeper(Protocol):
+    """Stores every inbox object so tests can inspect aliasing."""
+
+    def __init__(self):
+        super().__init__()
+        self.inboxes = []
+
+    def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+        self.inboxes.append(inbox)
+        if api.round == 1:
+            api.broadcast("hello", api.node_id)
+
+
+class TestSharedIndex:
+    """Recipients of a round's broadcasts alias one shared InboxIndex."""
+
+    def _network(self, protocols):
+        net = SyncNetwork()
+        for node_id, protocol in enumerate(protocols, 1):
+            net.add_correct(node_id, protocol)
+        return net
+
+    def test_all_broadcast_recipients_share_tuple_and_index(self):
+        keepers = [InboxKeeper() for _ in range(3)]
+        net = self._network(keepers)
+        net.step()
+        net.step()
+        boxes = [keeper.inboxes[1] for keeper in keepers]
+        assert all(b._messages is boxes[0]._messages for b in boxes[1:])
+        assert all(b.index is boxes[0].index for b in boxes[1:])
+        # and the shared index serves shared sub-views
+        assert boxes[0].filter("hello") is boxes[1].filter("hello")
+
+    def test_direct_recipient_gets_overlay_on_the_shared_index(self):
+        class Mixed(InboxKeeper):
+            def on_round(self, api, inbox):
+                super().on_round(api, inbox)
+                if api.round == 2:
+                    api.broadcast("x", 1)
+                    api.send(2, "y", 7)
+
+        mixed = Mixed()
+        bystander, target = InboxKeeper(), InboxKeeper()
+        net = self._network([mixed, target, bystander])
+        for _ in range(3):
+            net.step()
+        shared = bystander.inboxes[2]
+        layered = target.inboxes[2]
+        # the overlay stacks on the very index the others share...
+        assert layered.index._base is shared.index
+        assert mixed.inboxes[2].index is shared.index
+        # ...with broadcasts first, direct extras appended
+        assert list(layered) == list(shared) + [
+            m for m in layered if m.kind == "y"
+        ]
+        assert layered.senders("y") == {1}
+
+    def test_direct_duplicating_broadcast_still_shares(self):
+        # A direct send that duplicates the sender's own broadcast
+        # dedups away entirely; the recipient must fall back to the
+        # round's shared tuple/index, not a private copy.
+        class Doubler(InboxKeeper):
+            def on_round(self, api, inbox):
+                super().on_round(api, inbox)
+                if api.round == 2:
+                    api.broadcast("x", 1)
+                    api.send(2, "x", 1)
+
+        doubler = Doubler()
+        target, bystander = InboxKeeper(), InboxKeeper()
+        net = self._network([doubler, target, bystander])
+        for _ in range(3):
+            net.step()
+        assert target.inboxes[2].index is bystander.inboxes[2].index
+        assert list(target.inboxes[2]) == list(bystander.inboxes[2])
+        assert target.inboxes[2].count("x", payload=1) == 1
+
+    def test_empty_round_inboxes_share_the_empty_singleton(self):
+        from repro.sim.network import _EMPTY_INBOX
+
+        class SilentKeeper(Protocol):
+            def __init__(self):
+                super().__init__()
+                self.inboxes = []
+
+            def on_round(self, api, inbox):
+                self.inboxes.append(inbox)
+
+        quiet = [SilentKeeper(), SilentKeeper()]
+        net = self._network(quiet)
+        net.step()
+        net.step()
+        # nothing was ever sent: the engine hands every node the one
+        # module-level empty inbox instead of allocating per node.
+        for keeper in quiet:
+            assert all(box is _EMPTY_INBOX for box in keeper.inboxes)
+
+
 class ChattyByzantine:
     """Byzantine actor used for engine-level tests."""
 
