@@ -9,13 +9,17 @@ recipients of a round now alias one shared ``InboxIndex``, so per-kind
 buckets and distinct-sender tallies are built once per round, not once
 per node.
 
-Two workloads:
+Three workloads:
 
 * ``all-broadcast`` — one broadcast per node per round at
   n ∈ {50, 200, 800}: pure engine overhead, no inbox queries;
 * ``consensus`` — a full all-correct :class:`EarlyConsensus` run with
   split 0/1 inputs at n ∈ {50, 200}: the quorum-counting path the
-  shared index amortizes (every node counts the same broadcasts).
+  shared index (and, one layer up, the quorum-tally plane) amortizes;
+* ``parallel-consensus`` — a full all-correct :class:`ParallelConsensus`
+  run over a few dozen instances at n ∈ {50, 200}: per-instance vote
+  bases derived once per round on the shared index, counted by every
+  node.
 
 Each row reports rounds/sec and deliveries/sec (wall clock), staged
 entries vs deliveries per round (the allocation footprint vs the
@@ -39,6 +43,7 @@ import time
 import tracemalloc
 
 from repro.core.consensus import EarlyConsensus
+from repro.core.parallel_consensus import ParallelConsensus
 from repro.sim.network import SyncNetwork
 from repro.sim.node import Inbox, NodeApi, Protocol
 
@@ -53,6 +58,12 @@ CONSENSUS_MAX_N = 200
 #: Generous round budget — the split-input all-correct run decides in a
 #: handful of phases.
 CONSENSUS_ROUND_LIMIT = 200
+#: Instances submitted to the parallel-consensus workload: enough that
+#: per-instance work (vote bases, rotor cursors, repr-sorted execution
+#: order) dominates, small enough for the CI smoke.
+PARALLEL_INSTANCES = 24
+PARALLEL_MAX_N = 200
+PARALLEL_ROUND_LIMIT = 400
 
 
 class AllBroadcast(Protocol):
@@ -123,6 +134,35 @@ def measure_consensus(n: int, seed: int = 1) -> dict:
     return {"n": n, "decision": outputs.pop(), **row}
 
 
+def measure_parallel(n: int, seed: int = 1) -> dict:
+    """A full all-correct ParallelConsensus run over a few dozen ids.
+
+    Every node submits the same instance ids in the same round (the
+    phase-alignment requirement), each id with a common value, so every
+    one of the ``PARALLEL_INSTANCES`` instances runs to a real output.
+    This is the workload the quorum-tally plane targets: without it,
+    every node rebuilds every instance's vote tally from the same
+    shared broadcasts each round.
+    """
+    net = SyncNetwork(seed=seed, clock=time.perf_counter)
+    for index in range(n):
+        inputs = {
+            f"id{k:02d}": k % 2 for k in range(PARALLEL_INSTANCES)
+        }
+        net.add_correct(1000 + index, ParallelConsensus(inputs))
+    row = _run_and_measure(
+        net, lambda network: network.run(PARALLEL_ROUND_LIMIT)
+    )
+    outputs = set(net.outputs().values())
+    assert len(outputs) == 1, "parallel-consensus workload failed to agree"
+    return {
+        "n": n,
+        "instances": PARALLEL_INSTANCES,
+        "decided_pairs": len(outputs.pop()),
+        **row,
+    }
+
+
 def build_results(sizes=DEFAULT_SIZES) -> dict:
     return {
         "workloads": [
@@ -136,6 +176,14 @@ def build_results(sizes=DEFAULT_SIZES) -> dict:
                     measure_consensus(n)
                     for n in sizes
                     if n <= CONSENSUS_MAX_N
+                ],
+            },
+            {
+                "workload": "parallel-consensus",
+                "results": [
+                    measure_parallel(n)
+                    for n in sizes
+                    if n <= PARALLEL_MAX_N
                 ],
             },
         ],
@@ -168,6 +216,23 @@ def write_outputs(payload: dict, out: pathlib.Path) -> None:
         "runs (staged/round stays at n; recipients of a round's "
         "broadcasts share one inbox index)",
     )
+
+
+def baseline_subset(payload: dict, n: int = 50) -> dict:
+    """The CI-smoke baseline: the size-*n* row of every workload.
+
+    Writing the baseline from the same run (and machine) as the full
+    results keeps the committed numbers mutually comparable.
+    """
+    return {
+        "workloads": [
+            {
+                "workload": entry["workload"],
+                "results": [r for r in entry["results"] if r["n"] == n],
+            }
+            for entry in payload["workloads"]
+        ],
+    }
 
 
 def check_against_baseline(payload: dict, baseline_path: pathlib.Path) -> int:
@@ -213,6 +278,11 @@ def test_engine_hot_path(benchmark):
         # Every run must actually decide (inside the budget) and agree.
         assert row["rounds"] < CONSENSUS_ROUND_LIMIT
         assert row["decision"] in (0, 1)
+    for row in by_name["parallel-consensus"]:
+        # All-correct real-valued inputs: every instance must terminate
+        # with an output, and every node with the same pair set.
+        assert row["rounds"] < PARALLEL_ROUND_LIMIT
+        assert row["decided_pairs"] == PARALLEL_INSTANCES
     benchmark.pedantic(
         lambda: measure_engine(50, rounds=20), rounds=3, iterations=1
     )
@@ -235,9 +305,20 @@ def main(argv=None) -> int:
         help="baseline JSON to compare rounds/sec against "
         "(fails on a >2x regression)",
     )
+    parser.add_argument(
+        "--baseline-out",
+        type=pathlib.Path,
+        default=None,
+        help="also write this run's n=50 rows as a fresh CI-smoke "
+        "baseline (keeps baseline and results from one machine/run)",
+    )
     args = parser.parse_args(argv)
     payload = build_results(sizes=tuple(args.sizes))
     write_outputs(payload, args.out)
+    if args.baseline_out is not None:
+        args.baseline_out.write_text(
+            json.dumps(baseline_subset(payload), indent=2) + "\n"
+        )
     if args.check is not None:
         return check_against_baseline(payload, args.check)
     return 0

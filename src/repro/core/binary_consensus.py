@@ -36,8 +36,7 @@ from repro.core.quorum import (
     at_least_two_thirds,
 )
 from repro.core.rotor import RotorCore
-from repro.sim.inbox import Inbox
-from repro.sim.message import Message
+from repro.sim.inbox import Inbox, best_with_extra
 from repro.sim.node import NodeApi, Protocol
 from repro.types import NodeId
 
@@ -86,7 +85,7 @@ class BinaryKingConsensus(Protocol):
             api.broadcast(KIND_INPUT, self.x)
             self._last_sent[KIND_INPUT] = self.x
         elif phase_round == 2:
-            self._phase_live = frozenset(inbox.senders(KIND_INPUT))
+            self._phase_live = inbox.distinct_senders(KIND_INPUT)
             value, count = self._best(inbox, KIND_INPUT)
             self._last_sent.pop(KIND_SUPPORT, None)
             if at_least_two_thirds(count, self.n_v):
@@ -117,16 +116,23 @@ class BinaryKingConsensus(Protocol):
 
         As in Algorithm 3, fills only apply to members that look
         terminated: silent this round and absent from this phase's
-        (unconditional) input broadcast.
+        (unconditional) input broadcast.  Counting rides the shared
+        quorum-tally plane with the own-phantom fill applied as a
+        per-node delta (see ``EarlyConsensus._best``).
         """
-        counting_inbox = inbox
-        if kind in self._last_sent:
-            silent = self.membership - inbox.senders()
-            if kind != KIND_INPUT:
-                silent -= self._phase_live
-            phantom = self._last_sent[kind]
-            counting_inbox = inbox.merged_with(
-                Message(sender=node, kind=kind, payload=phantom)
-                for node in silent
-            )
-        return counting_inbox.best_payload(kind)
+        best = inbox.best_payload(kind)
+        if kind not in self._last_sent:
+            return best
+        membership = self.membership
+        silent = inbox.derive(
+            ("consensus-silent", membership),
+            lambda idx: membership - idx.all_senders,
+        )
+        if kind != KIND_INPUT and silent:
+            silent = silent - self._phase_live
+        return best_with_extra(
+            inbox.payload_sender_sets(kind),
+            best,
+            self._last_sent[kind],
+            len(silent),
+        )

@@ -54,8 +54,7 @@ from repro.core.quorum import (
     less_than_third,
 )
 from repro.core.rotor import RotorCore
-from repro.sim.inbox import Inbox
-from repro.sim.message import Message
+from repro.sim.inbox import Inbox, best_with_extra
 from repro.sim.node import NodeApi, Protocol
 from repro.types import NodeId
 
@@ -138,8 +137,9 @@ class EarlyConsensus(Protocol):
     def _count_inputs(self, api: NodeApi, inbox: Inbox) -> None:
         # Every live node broadcasts input at phase-round 1; anyone who
         # did not is presumed terminated and becomes eligible for the
-        # substitution rule for the rest of the phase.
-        self._phase_live = frozenset(inbox.senders(KIND_INPUT))
+        # substitution rule for the rest of the phase.  The sender set is
+        # the index's shared frozenset — no per-node copy.
+        self._phase_live = inbox.distinct_senders(KIND_INPUT)
         value, count = self._best(inbox, KIND_INPUT)
         self._last_sent.pop(KIND_PREFER, None)
         if at_least_two_thirds(count, self.n_v):
@@ -221,15 +221,26 @@ class EarlyConsensus(Protocol):
         prefer/strongprefer countings — did not broadcast this phase's
         input either), the message this node itself most recently sent of
         the expected kind (if any).
+
+        Counting rides the quorum-tally plane: the per-payload sender
+        sets and their maximum are computed once on the round's shared
+        index; the silent-member set is a shared derived view keyed by
+        the frozen membership; only the own-phantom delta is per-node,
+        and it never mutates any shared structure.
         """
-        counting_inbox = inbox
-        if self.substitution and kind in self._last_sent:
-            silent = self.membership - inbox.senders()
-            if kind != KIND_INPUT:
-                silent -= self._phase_live
-            phantom = self._last_sent[kind]
-            counting_inbox = inbox.merged_with(
-                Message(sender=node, kind=kind, payload=phantom)
-                for node in silent
-            )
-        return counting_inbox.best_payload(kind)
+        best = inbox.best_payload(kind)
+        if not (self.substitution and kind in self._last_sent):
+            return best
+        membership = self.membership
+        silent = inbox.derive(
+            ("consensus-silent", membership),
+            lambda idx: membership - idx.all_senders,
+        )
+        if kind != KIND_INPUT and silent:
+            silent = silent - self._phase_live
+        return best_with_extra(
+            inbox.payload_sender_sets(kind),
+            best,
+            self._last_sent[kind],
+            len(silent),
+        )

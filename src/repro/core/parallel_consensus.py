@@ -36,7 +36,8 @@ Two engineering completions beyond the paper's text (see DESIGN.md §4):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
+from types import MappingProxyType
+from typing import Hashable, Mapping
 
 from repro.core.quorum import (
     ViewTracker,
@@ -45,7 +46,7 @@ from repro.core.quorum import (
     less_than_third,
 )
 from repro.core.rotor import CandidateSet, RotorCore, RotorCursor  # noqa: F401
-from repro.sim.inbox import Inbox
+from repro.sim.inbox import Inbox, InboxIndex, best_with_extra
 from repro.sim.node import NodeApi, Protocol
 from repro.types import BOTTOM, NodeId, Round, is_bottom
 
@@ -72,6 +73,58 @@ PHASE_LENGTH = 5
 #: Sentinel meaning "this node's most recent action for the kind was the
 #: abstention marker" (used by the substitution rule).
 _ABSTAINED = object()
+
+
+def _vote_base(
+    index: InboxIndex, kind: str
+) -> tuple[Mapping[Hashable, frozenset[NodeId]], tuple[Hashable, int]]:
+    """Shared decoded vote base for one quorum kind of one instance.
+
+    ``value -> frozenset(distinct senders)`` after wire decoding
+    (``"__bottom__"`` -> ``⊥``) and after folding ``noinput`` markers
+    into ``input(⊥)`` votes, plus its precomputed best ``(value,
+    count)``.  Keys appear in first-occurrence order and the best uses
+    the ``(count, repr)`` tie-break, both matching the historical
+    per-node rebuild exactly.  Memoized on the instance's (round-shared)
+    index via :meth:`InboxIndex.derive`, so every recipient counting
+    this instance's votes pays for the grouping once per round.
+    """
+    votes: dict[Hashable, set[NodeId]] = {}
+    for message in index.kind_bucket(kind):
+        decoded = (
+            BOTTOM if message.payload == "__bottom__" else message.payload
+        )
+        votes.setdefault(decoded, set()).add(message.sender)
+    if kind == KIND_INPUT:
+        # repro-lint: disable=R304 -- commutative set-vote accumulation
+        for sender in index.sender_set(KIND_NOINPUT, ..., ...):
+            votes.setdefault(BOTTOM, set()).add(sender)
+    base = {value: frozenset(senders) for value, senders in votes.items()}
+    if base:
+        value, senders = max(
+            base.items(), key=lambda item: (len(item[1]), repr(item[0]))
+        )
+        best: tuple[Hashable, int] = (value, len(senders))
+    else:
+        best = (None, 0)
+    return MappingProxyType(base), best
+
+
+def _unfilled_members(
+    index: InboxIndex, kind: str, membership: frozenset[NodeId]
+) -> frozenset[NodeId]:
+    """Members that sent no type-*kind* message this round.
+
+    The first-phase ``⊥`` back-fill base (``noinput`` counts as a typed
+    ``input`` message).  Shared per ``(kind, membership)`` on the
+    round's index: disjoint from every sender set in the vote base by
+    construction, which is what lets :func:`best_with_extra` apply it as
+    a pure count delta.
+    """
+    typed = index.sender_set(kind, ..., ...)
+    if kind == KIND_INPUT:
+        typed = typed | index.sender_set(KIND_NOINPUT, ..., ...)
+    return membership - typed
 
 
 @dataclass
@@ -269,43 +322,37 @@ class ConsensusInstance:
         ``noinput`` markers as ``input(⊥)`` votes, the first-phase ``⊥``
         back-fill, and the own-last-message substitution for silent
         members.
+
+        The decoded vote base and the membership back-fill sets are
+        shared derived views on the instance's (round-shared) index —
+        every recipient counting this instance's votes pays for them
+        once; only the own-last-action substitution value is per-node,
+        layered as an O(1) delta via :func:`best_with_extra`.  The
+        result is pinned to the naive per-node dict-building
+        implementation by ``tests/properties/test_tally_coherence.py``.
         """
-        votes: dict[Hashable, set[NodeId]] = {}
-
-        def vote(value: Hashable, sender: NodeId) -> None:
-            votes.setdefault(value, set()).add(sender)
-
-        for message in tagged.filter(kind):
-            vote(self._decode(message.payload), message.sender)
-        if kind == KIND_INPUT:
-            # repro-lint: disable=R304 -- commutative set-vote accumulation
-            for sender in tagged.senders(KIND_NOINPUT):
-                vote(BOTTOM, sender)
-
-        heard_from = tagged.senders()  # any tagged message this round
-        missing = membership - heard_from
+        index = tagged.index
+        base, best = index.derive(
+            ("pc-votes", kind), lambda idx: _vote_base(idx, kind)
+        )
         if self.join_phase_fill:
             # First-phase rule: substitute kind(⊥) for every counted node
             # that sent no type-`kind` message.
-            typed = tagged.senders(kind) | (
-                tagged.senders(KIND_NOINPUT) if kind == KIND_INPUT else set()
+            unfilled = index.derive(
+                ("pc-unfilled", kind, membership),
+                lambda idx: _unfilled_members(idx, kind, membership),
             )
-            for sender in membership - typed:
-                vote(BOTTOM, sender)
-        elif kind in self._last_action:
-            # Subsequent rounds: silent members mirror our own most
-            # recent action of this kind.
-            own = self._last_action[kind]
-            if own is not _ABSTAINED:
-                for sender in missing:
-                    vote(own, sender)
-
-        if not votes:
-            return None, 0
-        value, supporters = max(
-            votes.items(), key=lambda item: (len(item[1]), repr(item[0]))
+            return best_with_extra(base, best, BOTTOM, len(unfilled))
+        own = self._last_action.get(kind, _ABSTAINED)
+        if own is _ABSTAINED:
+            return best
+        # Subsequent rounds: silent members (no tagged message at all
+        # this round) mirror our own most recent action of this kind.
+        missing = index.derive(
+            ("pc-missing", membership),
+            lambda idx: membership - idx.all_senders,
         )
-        return value, len(supporters)
+        return best_with_extra(base, best, own, len(missing))
 
     @staticmethod
     def _decode(payload: Hashable) -> Hashable:
@@ -347,6 +394,14 @@ class ParallelConsensusMachine:
         self._pending: dict[Hashable, Hashable] = {}
         self._results: dict[Hashable, InstanceResult] = {}
         self._started_batch = False
+        #: Deterministic execution order over ``instances``, rebuilt only
+        #: when the instance set changes (repr-sorting dozens of live
+        #: instances every round, per node, was measurable at n=200).
+        self._order: list[Hashable] = []
+        self._order_dirty = False
+        self._output_cache: (
+            tuple[tuple[Hashable, Hashable], ...] | None
+        ) = None
 
     # -- namespacing ------------------------------------------------------
     def _wire_tag(self, inner_id: Hashable) -> Hashable:
@@ -381,13 +436,23 @@ class ParallelConsensusMachine:
         return dict(self._results)
 
     def output_pairs(self) -> tuple[tuple[Hashable, Hashable], ...]:
-        """The non-``⊥`` outputs, sorted by instance id."""
-        pairs = [
-            (r.instance_id, r.value)
-            for r in self._results.values()
-            if r.has_output
-        ]
-        return tuple(sorted(pairs, key=lambda p: repr(p[0])))
+        """The non-``⊥`` outputs, sorted by instance id.
+
+        Cached: repeated calls return the same tuple object until a new
+        terminal result lands (total ordering polls every finalized
+        machine each round).
+        """
+        cached = self._output_cache
+        if cached is None:
+            pairs = [
+                (r.instance_id, r.value)
+                for r in self._results.values()
+                if r.has_output
+            ]
+            cached = self._output_cache = tuple(
+                sorted(pairs, key=lambda p: repr(p[0]))
+            )
+        return cached
 
     def idle(self) -> bool:
         """True when no instance is running and none is queued."""
@@ -445,6 +510,7 @@ class ParallelConsensusMachine:
             self.instances[instance_id] = ConsensusInstance(
                 self._wire_tag(instance_id), api.round, value
             )
+            self._order_dirty = True
             api.emit(
                 "instance-start", instance=self._wire_tag(instance_id)
             )
@@ -461,34 +527,46 @@ class ParallelConsensusMachine:
         must stash them like everyone else).  Anything else about an
         unknown id — coordinator opinions, second-phase traffic — is
         discarded.
+
+        Walks the round's per-instance buckets (first-occurrence order)
+        instead of every message: most rounds carry zero unknown
+        instances, and the known ones are dismissed with one dict probe
+        per instance rather than one per message.
         """
         offsets = {KIND_INPUT: 1, KIND_PREFER: 2, KIND_STRONGPREFER: 3}
-        for message in inbox:
-            inner = self._inner_id(message.instance)
+        for wire_tag in inbox.instance_tags():
+            inner = self._inner_id(wire_tag)
             if inner is None:
                 continue
             if inner in self.instances or inner in self._results:
                 continue
-            offset = offsets.get(message.kind)
-            if offset is None:
-                continue
-            start = api.round - offset
-            if start < self.start_round + 2:
-                continue  # would predate the machine itself
-            self.instances[inner] = ConsensusInstance(
-                self._wire_tag(inner),
-                start,
-                BOTTOM,
-                joined_via=message.kind,
-            )
-            api.emit(
-                "instance-join",
-                instance=self._wire_tag(inner),
-                via=message.kind,
-            )
+            for message in inbox.filter(instance=wire_tag):
+                offset = offsets.get(message.kind)
+                if offset is None:
+                    continue
+                start = api.round - offset
+                if start < self.start_round + 2:
+                    continue  # would predate the machine itself
+                self.instances[inner] = ConsensusInstance(
+                    self._wire_tag(inner),
+                    start,
+                    BOTTOM,
+                    joined_via=message.kind,
+                )
+                self._order_dirty = True
+                api.emit(
+                    "instance-join",
+                    instance=self._wire_tag(inner),
+                    via=message.kind,
+                )
+                break
 
     def _run_instances(self, api: NodeApi, inbox: Inbox) -> None:
-        for inner in sorted(self.instances, key=repr):
+        if self._order_dirty:
+            self._order = sorted(self.instances, key=repr)
+            self._order_dirty = False
+        any_terminated = False
+        for inner in self._order:
             instance = self.instances[inner]
             tagged = inbox.filter(instance=self._wire_tag(inner))
             instance.on_round(
@@ -505,9 +583,13 @@ class ParallelConsensusMachine:
                 self._results[inner] = InstanceResult(
                     inner, result.value, result.round
                 )
-        for inner in list(self.instances):
-            if self.instances[inner].terminated:
-                del self.instances[inner]
+                self._output_cache = None
+                any_terminated = True
+        if any_terminated:
+            for inner in self._order:
+                if self.instances[inner].terminated:
+                    del self.instances[inner]
+            self._order = [i for i in self._order if i in self.instances]
 
 
 class ParallelConsensus(Protocol):

@@ -15,7 +15,7 @@ rotor-coordinator's candidate set, and Byzantine renaming all share.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable
+from typing import Hashable, Iterable, Mapping
 
 from repro.sim.inbox import Inbox
 from repro.types import NodeId, Round
@@ -62,8 +62,10 @@ class ViewTracker:
 
     def observe(self, inbox: Inbox) -> None:
         # The inbox's distinct-sender set is cached on its (possibly
-        # round-shared) index, so this is a set union, not a message scan.
-        self._senders.update(inbox.senders())
+        # round-shared) index, so this is a set union, not a message scan
+        # — and distinct_senders hands back the shared frozenset with no
+        # per-node copy.
+        self._senders.update(inbox.distinct_senders())
 
     def observe_ids(self, ids: Iterable[NodeId]) -> None:
         self._senders.update(ids)
@@ -110,29 +112,62 @@ class EchoVoting:
     every k-th round, like the rotor embedded in consensus, still sees all
     echoes) and reset after each evaluation (matching the paper's per-round
     counting, because correct nodes re-echo every round until acceptance).
+
+    Pending sender sets may be the index's *shared frozensets*: the
+    common absorb path (one inbox per tag per evaluation window) stores
+    the round's cached tally directly, copy-on-extend only when a second
+    batch arrives for the same tag.  :meth:`evaluate` only reads sizes,
+    so the shared sets are never mutated.
     """
 
     def __init__(self) -> None:
-        self._pending: dict[Hashable, set[NodeId]] = {}
+        self._pending: dict[Hashable, set[NodeId] | frozenset[NodeId]] = {}
         self.accepted: dict[Hashable, Round] = {}
 
     def absorb(self, pairs: Iterable[tuple[NodeId, Hashable]]) -> None:
         """Record (sender, tag) echo observations since the last evaluate."""
+        pending = self._pending
         for sender, tag in pairs:
-            self._pending.setdefault(tag, set()).add(sender)
+            existing = pending.get(tag)
+            if existing is None:
+                pending[tag] = {sender}
+            elif isinstance(existing, frozenset):
+                if sender not in existing:
+                    thawed = set(existing)
+                    thawed.add(sender)
+                    pending[tag] = thawed
+            else:
+                existing.add(sender)
+
+    def absorb_sets(
+        self, tallies: Mapping[Hashable, frozenset[NodeId]]
+    ) -> None:
+        """Record a shared ``tag -> frozenset(senders)`` tally wholesale.
+
+        O(tags), not O(messages): each tag's distinct-sender set was
+        already computed once on the round's shared index; absent tags
+        adopt the shared frozenset without copying.
+        """
+        pending = self._pending
+        for tag, senders in tallies.items():
+            existing = pending.get(tag)
+            if existing is None:
+                pending[tag] = senders
+            elif isinstance(existing, frozenset):
+                pending[tag] = existing | senders
+            else:
+                existing.update(senders)
 
     def absorb_inbox(
         self, inbox: Inbox, kind: str, instance: Hashable = ...
     ) -> None:
         """Record all echoes of *kind* from an inbox (payload is the tag).
 
-        Iterates the index's kind bucket (shared across recipients of a
-        round's broadcast tuple) rather than re-scanning every message.
+        Rides the quorum-tally plane: the per-tag distinct-sender sets
+        come from the inbox's (possibly round-shared) index, so the
+        grouping work happens once per round, not once per node.
         """
-        self.absorb(
-            (m.sender, m.payload)
-            for m in inbox.filter(kind, instance=instance)
-        )
+        self.absorb_sets(inbox.payload_sender_sets(kind, instance))
 
     def evaluate(self, n_v: int, round_no: Round) -> EchoDecision:
         """Apply both thresholds, clear the pending buffer, and report."""

@@ -74,11 +74,17 @@ class CandidateSet:
 
     def echo_inits(self, api: NodeApi, inbox: Inbox) -> None:
         """Round 2: echo every node that announced itself."""
-        for sender in sorted(inbox.senders(KIND_INIT, instance=self.instance)):
+        announcers = inbox.distinct_senders(KIND_INIT, instance=self.instance)
+        for sender in sorted(announcers):
             api.broadcast(KIND_ECHO, sender, instance=self.instance)
 
     def absorb(self, inbox: Inbox) -> None:
-        """Accumulate echo observations from a real round's inbox."""
+        """Accumulate echo observations from a real round's inbox.
+
+        Rides the shared quorum-tally plane: the per-candidate sender
+        sets are grouped once on the round's shared index and adopted
+        here without copying (see :meth:`EchoVoting.absorb_inbox`).
+        """
         self.voting.absorb_inbox(inbox, KIND_ECHO, instance=self.instance)
 
     def evaluate(

@@ -26,9 +26,15 @@ PRIVATE_ATTRS = frozenset({"_outbox", "_known_contacts", "_nodes"})
 #: Inbox / InboxIndex internals.  The engine shares one index across all
 #: recipients of a round's broadcasts; protocol code that reaches past
 #: the query methods could observe (or worse, mutate) cache state that
-#: other nodes alias.  ``_best`` is deliberately absent: it is also a
+#: other nodes alias.  ``_derived`` and ``_restrictions`` are the
+#: quorum-tally plane's memo tables — protocols populate them only
+#: through ``derive()`` / ``restricted_to()``, never by direct access
+#: (a write would leak one node's per-node state into every aliasing
+#: recipient).  ``_best`` is deliberately absent: it is also a
 #: legitimate protocol-layer method name (EarlyConsensus._best).
-INBOX_PRIVATE_ATTRS = frozenset({"_messages", "_index"})
+INBOX_PRIVATE_ATTRS = frozenset(
+    {"_messages", "_index", "_derived", "_restrictions"}
+)
 
 
 class OutboxInProtocol(Rule):
@@ -134,8 +140,9 @@ class InboxInternalsAccess(Rule):
     name = "inbox-internals-access"
     description = (
         "protocol code may not touch Inbox/InboxIndex internals "
-        "(_messages, _index, or index cache attributes); the index is "
-        "shared across every recipient of a round's broadcasts"
+        "(_messages, _index, the _derived/_restrictions tally-plane "
+        "memos, or index cache attributes); the index is shared across "
+        "every recipient of a round's broadcasts"
     )
 
     def applies_to(self, ctx: FileContext) -> bool:
@@ -149,9 +156,9 @@ class InboxInternalsAccess(Rule):
                 yield ctx.diagnostic(
                     node,
                     self.code,
-                    f"'.{node.attr}' is private Inbox state, aliased "
-                    "across nodes by the shared per-round index",
-                    hint="use filter/senders/count/best_payload/"
+                    f"'.{node.attr}' is private Inbox/InboxIndex state, "
+                    "aliased across nodes by the shared per-round index",
+                    hint="use filter/senders/count/best_payload/derive/"
                     "restricted_to/merged_with",
                 )
             elif (

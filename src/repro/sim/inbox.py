@@ -17,12 +17,24 @@ caches) is a pure *view* over one immutable tuple of
 or a cached structure after it is handed out; the query methods therefore
 return fresh ``set``/``Counter`` copies wherever callers could mutate the
 result.  Mutating an index internal is a bug, not a feature request.
+
+The *quorum-tally plane* extends the sharing one layer up, into the
+protocols' counting: :meth:`InboxIndex.derive` memoizes arbitrary derived
+views (decoded vote bases, membership back-fill sets) per round, so the
+per-instance tallies every recipient of a shared index would rebuild are
+computed exactly once; :meth:`InboxIndex.restricted` shares one
+membership-restricted sub-inbox per ``(index, membership)``; and
+:func:`best_with_extra` layers the genuinely per-node parts (own-message
+substitution, ``⊥`` back-fill) as O(1) deltas on a shared tally.  Derived
+values obey the same invariant: they are pure functions of the index
+contents, shared by every aliasing recipient, and must never be mutated.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Hashable, Iterable, Iterator
+from types import MappingProxyType
+from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping
 
 from repro.sim.message import Message
 from repro.types import NodeId
@@ -59,7 +71,10 @@ class InboxIndex:
         "_best",
         "_kinds",
         "_instances",
+        "_instance_tags",
         "_subs",
+        "_derived",
+        "_restrictions",
     )
 
     def __init__(
@@ -79,16 +94,24 @@ class InboxIndex:
         #: (kind, payload, instance) -> frozenset of matching senders.
         self._sender_sets: dict[tuple, frozenset[NodeId]] = {}
         #: (kind, instance) -> {payload: frozenset of senders}, in first-
-        #: occurrence order (the tie-break in best_payload depends on it).
-        self._payload_senders: dict[tuple, dict[Hashable, frozenset]] = {}
+        #: occurrence order (the tie-break in best_payload depends on it),
+        #: stored behind read-only proxies so shared tallies cannot be
+        #: mutated by any recipient.
+        self._payload_senders: dict[tuple, Mapping[Hashable, frozenset]] = {}
         #: (kind, instance) -> cached best_payload result.
         self._best: dict[tuple, tuple[Hashable, int]] = {}
         self._kinds: frozenset[str] | None = None
         self._instances: frozenset[Hashable] | None = None
+        self._instance_tags: tuple[Hashable, ...] | None = None
         #: Cached sub-Inbox views for kind/sender/instance buckets, so
         #: repeated ``filter(kind)`` calls across recipients share one
         #: sub-index too.
         self._subs: dict[tuple, "Inbox"] = {}
+        #: The quorum-tally plane: key -> derived view, built at most
+        #: once per index by whichever recipient asks first.
+        self._derived: dict[Hashable, Any] = {}
+        #: membership -> shared membership-restricted sub-inbox.
+        self._restrictions: dict[frozenset, "Inbox"] = {}
 
     @classmethod
     def layered(
@@ -192,38 +215,40 @@ class InboxIndex:
 
     def payload_senders(
         self, kind: str, instance: Any
-    ) -> dict[Hashable, frozenset[NodeId]]:
+    ) -> Mapping[Hashable, frozenset[NodeId]]:
         """``payload -> distinct senders`` for one kind (cached).
 
         Insertion order is the first occurrence of each payload among the
         matching messages — :meth:`best_payload` relies on it so that
         exact ties (equal count *and* equal repr) resolve identically to
-        the historical linear scan.
+        the historical linear scan.  The mapping is a read-only view of
+        the shared cache; every recipient aliasing this index gets the
+        same object.
         """
         key = (kind, instance)
         cached = self._payload_senders.get(key)
         if cached is None:
             base = self._base
             if base is not None:
-                cached = dict(base.payload_senders(kind, instance))
+                built = dict(base.payload_senders(kind, instance))
                 for m in self._extra:
                     if not m.matches(kind, instance=instance):
                         continue
-                    existing = cached.get(m.payload)
+                    existing = built.get(m.payload)
                     if existing is None:
-                        cached[m.payload] = frozenset((m.sender,))
+                        built[m.payload] = frozenset((m.sender,))
                     elif m.sender not in existing:
-                        cached[m.payload] = existing | {m.sender}
+                        built[m.payload] = existing | {m.sender}
             else:
                 grouped: dict[Hashable, set[NodeId]] = {}
                 for m in self.kind_bucket(kind):
                     if m.matches(kind, instance=instance):
                         grouped.setdefault(m.payload, set()).add(m.sender)
-                cached = {
+                built = {
                     payload: frozenset(senders)
                     for payload, senders in grouped.items()
                 }
-            self._payload_senders[key] = cached
+            cached = self._payload_senders[key] = MappingProxyType(built)
         return cached
 
     def best_payload(
@@ -278,6 +303,63 @@ class InboxIndex:
                 )
             self._instances = instances
         return instances
+
+    def instance_tags(self) -> tuple[Hashable, ...]:
+        """Instance tags in first-occurrence order (untagged excluded).
+
+        The deterministic counterpart of :attr:`all_instances`: callers
+        that *iterate* instances (parallel consensus walking per-instance
+        buckets for join decisions) need an order independent of set
+        hashing.
+        """
+        tags = self._instance_tags
+        if tags is None:
+            tags = self._instance_tags = tuple(
+                tag
+                for tag in self._bucket_map("_by_instance", lambda m: m.instance)
+                if tag is not None
+            )
+        return tags
+
+    # ------------------------------------------------------------------
+    # The quorum-tally plane: shared derived views
+    # ------------------------------------------------------------------
+    def derive(self, key: Hashable, build: Callable[["InboxIndex"], Any]) -> Any:
+        """Memoize ``build(self)`` under *key* on this index.
+
+        This is the extension point of the quorum-tally plane: protocol
+        layers use it to share per-round derived tallies (decoded vote
+        bases, membership back-fill sets) across every recipient aliasing
+        the index, instead of rebuilding them once per node.
+
+        ``build`` must be a pure function of the index contents — the
+        result is cached on first demand and handed, unchanged, to every
+        later caller of the same key.  Callers must treat the result as
+        immutable (the shared-index invariant) and namespace their keys
+        (e.g. ``("pc-votes", kind)``) so independent protocol layers
+        cannot collide.
+        """
+        derived = self._derived
+        try:
+            return derived[key]
+        except KeyError:
+            value = derived[key] = build(self)
+            return value
+
+    def restricted(self, members: frozenset[NodeId]) -> "Inbox":
+        """The shared sub-inbox of messages whose sender is in *members*.
+
+        Cached per membership value: two hundred nodes restricting one
+        round's shared index to the same frozen membership get one
+        filtered sub-inbox (and one sub-index) between them.
+        """
+        if not isinstance(members, frozenset):
+            members = frozenset(members)
+        sub = self._restrictions.get(members)
+        if sub is None:
+            sub = Inbox(m for m in self.messages if m.sender in members)
+            self._restrictions[members] = sub
+        return sub
 
     # ------------------------------------------------------------------
     # Shared sub-views
@@ -380,6 +462,20 @@ class Inbox:
         """Distinct senders of matching messages."""
         return set(self.index.sender_set(kind, payload, instance))
 
+    def distinct_senders(
+        self,
+        kind: str | None = None,
+        payload: Any = ...,
+        instance: Any = ...,
+    ) -> frozenset[NodeId]:
+        """Like :meth:`senders`, but returns the index's shared frozenset.
+
+        Zero-copy: every recipient aliasing the round's index gets the
+        same cached object, so callers must not rely on mutating it
+        (they cannot — it is a frozenset).
+        """
+        return self.index.sender_set(kind, payload, instance)
+
     def count(
         self,
         kind: str | None = None,
@@ -405,6 +501,19 @@ class Inbox:
                 ).items()
             }
         )
+
+    def payload_sender_sets(
+        self, kind: str, instance: Any = ...
+    ) -> Mapping[Hashable, frozenset[NodeId]]:
+        """``payload -> frozenset(distinct senders)`` for one kind.
+
+        The quorum-tally plane's raw material: a *shared read-only*
+        mapping cached on the (possibly round-shared) index, in
+        first-occurrence payload order.  Use :meth:`payload_counts` when
+        a mutable counter is wanted; use this when only reading, so all
+        recipients pay for the tally once.
+        """
+        return self.index.payload_senders(kind, instance)
 
     def best_payload(
         self, kind: str, instance: Any = ...
@@ -443,16 +552,31 @@ class Inbox:
         """The set of instance tags present (excluding untagged messages)."""
         return set(self.index.all_instances)
 
+    def instance_tags(self) -> tuple[Hashable, ...]:
+        """Instance tags in first-occurrence order (untagged excluded)."""
+        return self.index.instance_tags()
+
+    def derive(self, key: Hashable, build: Callable[[InboxIndex], Any]) -> Any:
+        """Memoize a derived view on this inbox's (possibly shared) index.
+
+        Delegates to :meth:`InboxIndex.derive`; see there for the purity
+        and namespacing contract.
+        """
+        return self.index.derive(key, build)
+
     def restricted_to(self, members: frozenset[NodeId]) -> "Inbox":
         """The sub-inbox of messages whose sender is in *members*.
 
         Returns *self* when no sender falls outside *members* — the
         common case for frozen-membership protocols after
         initialization, which keeps the round's shared index shared.
+        Otherwise the restriction is cached per ``(index, members)``, so
+        all recipients of a shared index restricting to one frozen
+        membership share a single filtered sub-inbox.
         """
         if self.index.all_senders <= members:
             return self
-        return Inbox(m for m in self._messages if m.sender in members)
+        return self.index.restricted(members)
 
     def merged_with(self, extra: Iterable[Message]) -> "Inbox":
         """A new inbox with *extra* messages appended (used for the paper's
@@ -462,3 +586,55 @@ class Inbox:
         the merged view never re-scans (or re-indexes) the base messages.
         """
         return Inbox(index=InboxIndex.layered(self.index, extra))
+
+
+def best_with_extra(
+    tallies: Mapping[Hashable, frozenset[NodeId]],
+    best: tuple[Hashable, int],
+    payload: Hashable,
+    extra: int,
+) -> tuple[Hashable, int]:
+    """Best ``(value, count)`` of *tallies* after granting *payload* ``extra``
+    additional distinct supporters.
+
+    The per-node half of the quorum-tally plane: *tallies* is a shared
+    payload→senders mapping (insertion-ordered, e.g. from
+    :meth:`Inbox.payload_sender_sets` or an :meth:`InboxIndex.derive`
+    value) and *best* its precomputed maximum; the delta is a node's own
+    substitution or ``⊥`` back-fill.  The extra supporters must be
+    *disjoint* from every sender set in *tallies* — they stand in for
+    members that sent nothing, which is what makes the count a pure
+    addition.
+
+    The result is exactly what rebuilding the merged tally from scratch
+    would give, including the deterministic tie-break: highest count,
+    then highest payload repr, then earliest first occurrence (a payload
+    absent from *tallies* counts as appended last).
+    """
+    if extra <= 0:
+        return best
+    boosted = len(tallies.get(payload, ())) + extra
+    base_value, base_count = best
+    if base_count == 0 or payload == base_value:
+        # Empty base, or the delta boosts the incumbent: no contest.
+        return payload, boosted
+    delta_key = (boosted, repr(payload))
+    base_key = (base_count, repr(base_value))
+    if delta_key > base_key:
+        return payload, boosted
+    if delta_key < base_key:
+        return base_value, base_count
+    # Exact tie (equal count *and* equal repr on distinct payloads):
+    # replicate the insertion-order max of a full rebuild.
+    winner: tuple[Hashable, int] | None = None
+    winner_key: tuple[int, str] | None = None
+    for value, senders in tallies.items():
+        count = len(senders) + (extra if value == payload else 0)
+        key = (count, repr(value))
+        if winner_key is None or key > winner_key:
+            winner_key = key
+            winner = (value, count)
+    if payload not in tallies and (winner_key is None or delta_key > winner_key):
+        winner = (payload, boosted)
+    assert winner is not None
+    return winner

@@ -31,9 +31,16 @@ shared broadcast tuple also alias one shared
 :class:`~repro.sim.inbox.InboxIndex`, so each per-kind distinct-sender
 count the protocols ask for is computed once per round, not once per node;
 recipients with surviving direct messages get a private overlay index
-layered on the shared one.  Per-node engine state that is identical from
-round to round (the contacts frozenset handed to NodeApi, the sorted
-alive-node lists) is cached and invalidated only when it can change.
+layered on the shared one.  The protocols' *quorum-tally plane* rides the
+same sharing one layer up: per-instance decoded vote bases, membership
+back-fill sets and membership restrictions are memoized on the round's
+shared index (:meth:`~repro.sim.inbox.InboxIndex.derive` /
+:meth:`~repro.sim.inbox.InboxIndex.restricted`), so even full
+parallel-consensus tallies are built once per round and only per-node
+substitution deltas remain per recipient.  Per-node engine state that is
+identical from round to round (the contacts frozenset handed to NodeApi,
+the sorted alive-node lists) is cached and invalidated only when it can
+change.
 """
 
 from __future__ import annotations

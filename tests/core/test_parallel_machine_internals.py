@@ -117,6 +117,37 @@ class TestWindowsAndResults:
             other = result.protocols[node].results["real"]
             assert other.has_output == terminal.has_output
 
+    def test_output_pairs_cached_until_new_result(self):
+        from repro.core.parallel_consensus import InstanceResult
+
+        machine = ParallelConsensusMachine(start_round=1)
+        machine._results["a"] = InstanceResult("a", 5, round=9)
+        first = machine.output_pairs()
+        assert first == (("a", 5),)
+        # Repeated calls hand back the very same tuple object: total
+        # ordering polls every finalized machine each round.
+        assert machine.output_pairs() is first
+        # A new terminal result invalidates the cache the same way
+        # _run_instances does when an instance terminates.
+        machine._results["b"] = InstanceResult("b", 7, round=11)
+        machine._output_cache = None
+        second = machine.output_pairs()
+        assert second == (("a", 5), ("b", 7))
+        assert machine.output_pairs() is second
+
+    def test_terminating_instance_refreshes_output_pairs(self):
+        result = run_quick(
+            correct=4,
+            seed=5,
+            protocol_factory=lambda nid, i: ParallelConsensus({"k": 3}),
+        )
+        machine = result.protocols[result.correct_ids[0]].machine
+        pairs = machine.output_pairs()
+        assert pairs == (("k", 3),)
+        # The run terminated "k" through _run_instances, so the cache
+        # was rebuilt after the result landed — and is now stable.
+        assert machine.output_pairs() is machine.output_pairs()
+
     def test_resubmitting_finished_instance_is_ignored(self):
         result = run_quick(
             correct=4,

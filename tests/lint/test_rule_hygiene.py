@@ -151,6 +151,58 @@ class TestInboxInternalsAccess:
         )
         assert codes(result) == ["R404"]
 
+    def test_derived_memo_table_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/bad.py": """\
+                def poke(inbox, key):
+                    return inbox.index._derived[key]
+                """
+            }
+        )
+        assert codes(result) == ["R404"]
+
+    def test_derived_memo_write_flagged_without_index_chain(
+        self, lint_tree
+    ):
+        # The tally-plane memo tables are fenced by name, so even a
+        # build callback holding a bare InboxIndex cannot write them.
+        result = lint_tree(
+            {
+                "repro/core/bad.py": """\
+                def poison(idx, key, value):
+                    idx._derived[key] = value
+                """
+            }
+        )
+        assert codes(result) == ["R404"]
+
+    def test_restrictions_cache_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/bad.py": """\
+                def steal(idx, frozen_view):
+                    return idx._restrictions[frozen_view]
+                """
+            }
+        )
+        assert codes(result) == ["R404"]
+
+    def test_derive_and_restricted_to_pass(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/good.py": """\
+                def count(inbox, frozen_view):
+                    box = inbox.restricted_to(frozen_view)
+                    return box.derive(
+                        ("missing", frozen_view),
+                        lambda idx: frozen_view - idx.all_senders,
+                    )
+                """
+            }
+        )
+        assert result.ok
+
     def test_query_methods_pass(self, lint_tree):
         result = lint_tree(
             {
