@@ -2,15 +2,20 @@
 
 Post-hoc checkers (:mod:`repro.analysis.checkers`) verify a finished
 run; when a seed misbehaves you then want the *round* where the
-violation was born.  Monitors subscribe to the run's live trace and
-raise :class:`~repro.errors.PropertyViolation` the moment an invariant
-breaks, so the traceback lands inside the offending round with all
-state intact.
+violation was born.  Monitors subscribe to the run's live semantic
+events and raise :class:`~repro.errors.PropertyViolation` the moment an
+invariant breaks, so the traceback lands inside the offending round
+with all state intact.
+
+A monitor attaches to either a :class:`~repro.sim.trace.Trace` or an
+:class:`~repro.obs.bus.EventBus` directly — the latter works on *any*
+runtime (the net runners and the asyncsim engine publish the same
+``protocol`` events the simulator does).
 
 Usage::
 
     network = SyncNetwork(seed=3)
-    AgreementMonitor().attach(network.trace)
+    AgreementMonitor().attach(network.bus)    # or network.trace
     ...
     network.run(100)   # raises at the first conflicting decision
 """
@@ -20,15 +25,24 @@ from __future__ import annotations
 from typing import Any, Hashable
 
 from repro.errors import PropertyViolation
+from repro.obs.bus import EventBus
+from repro.obs.events import ProtocolEvent
 from repro.sim.trace import Trace, TraceEvent
 from repro.types import NodeId
 
 
 class TraceMonitor:
-    """Base class: subscribe to a trace and inspect each event."""
+    """Base class: subscribe to an event source and inspect each event.
 
-    def attach(self, trace: Trace) -> "TraceMonitor":
-        trace.subscribe(self.on_event)
+    ``attach`` accepts a :class:`Trace` (legacy observer hook) or an
+    :class:`EventBus` (subscribes to the ``protocol`` topic).
+    """
+
+    def attach(self, source: Trace | EventBus) -> "TraceMonitor":
+        if isinstance(source, EventBus):
+            source.subscribe(self.on_event, ProtocolEvent.topic)
+        else:
+            source.subscribe(self.on_event)
         return self
 
     def on_event(self, event: TraceEvent) -> None:  # pragma: no cover

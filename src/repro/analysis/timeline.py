@@ -13,8 +13,9 @@ a seed misbehaves::
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
+from repro.obs.events import ProtocolEvent
 from repro.sim.trace import Trace
 from repro.types import NodeId
 
@@ -35,23 +36,31 @@ DEFAULT_GLYPHS: Mapping[str, str] = {
 
 
 def render_timeline(
-    trace: Trace,
+    trace: Trace | Iterable[Any],
     nodes: Iterable[NodeId],
     events: Iterable[str] | None = None,
     glyphs: Mapping[str, str] = DEFAULT_GLYPHS,
     max_rounds: int | None = None,
 ) -> str:
-    """Render the trace as an ASCII grid (rounds x nodes).
+    """Render the semantic events as an ASCII grid (rounds x nodes).
 
-    ``events`` filters which event names appear (default: any event with
-    a glyph).  Cells with several events join them with ``,``.
+    *trace* is a :class:`Trace` or any iterable of :mod:`repro.obs`
+    events — a full mixed-topic stream (e.g. one loaded back via
+    :func:`repro.obs.read_jsonl` + ``load_protocol_events``, or a list
+    collected straight off a bus) works: non-``protocol`` events are
+    skipped.  ``events`` filters which event names appear (default: any
+    event with a glyph).  Cells with several events join them with
+    ``,``.
     """
     nodes = list(nodes)
     wanted = set(events) if events is not None else set(glyphs)
 
     cells: dict[tuple[int, NodeId], list[str]] = {}
     last_round = 0
+    protocol = ProtocolEvent.topic
     for event in trace:
+        if getattr(event, "topic", protocol) != protocol:
+            continue
         if event.node not in nodes or event.event not in wanted:
             continue
         if max_rounds is not None and event.round > max_rounds:

@@ -5,6 +5,12 @@ message, by a *scheduler* — the adversary of the asynchronous model.
 Nodes may also set timers (how a node "waits" without a round structure).
 Everything is ordered by (time, sequence number), so runs are exactly
 reproducible.
+
+The engine publishes the shared :mod:`repro.obs` event vocabulary onto
+its :class:`~repro.obs.bus.EventBus`: sends, deliveries (as singleton
+batches), and decisions.  Round-less events carry ``round=0`` and the
+simulated time in their ``time`` field, per the taxonomy in
+:mod:`repro.obs.events`.
 """
 
 from __future__ import annotations
@@ -15,6 +21,13 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 from repro.errors import ConfigurationError
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    InboxDelivered,
+    MessageSent,
+    ProtocolEvent,
+    RunStarted,
+)
 from repro.types import NodeId
 
 
@@ -111,13 +124,26 @@ class AsyncNode(ABC):
             self.output = value
             self.decided_at = ctx.time
             self.log.append(("decide", value))
+            engine = ctx._engine
+            if engine.bus.wants(ProtocolEvent.topic):
+                engine.bus.publish(
+                    ProtocolEvent(
+                        0,
+                        ctx.node_id,
+                        "decide",
+                        {"value": value, "time": ctx.time},
+                    )
+                )
 
 
 class AsyncEngine:
     """The discrete-event loop."""
 
-    def __init__(self, scheduler: Scheduler):
+    def __init__(self, scheduler: Scheduler, bus: EventBus | None = None):
         self.scheduler = scheduler
+        #: The run's event plane (no subscribers by default, so the
+        #: event loop pays one membership check per emission site).
+        self.bus = bus if bus is not None else EventBus()
         self.time: float = 0.0
         self._nodes: dict[NodeId, AsyncNode] = {}
         self._queue: list[_QueueEntry] = []
@@ -141,6 +167,13 @@ class AsyncEngine:
         if recipient not in self._nodes:
             return
         delay = self.scheduler.delay(sender, recipient, self.time, kind)
+        if self.bus.wants(MessageSent.topic):
+            self.bus.publish(
+                MessageSent(
+                    0, sender, kind, payload, dest=recipient,
+                    time=self.time,
+                )
+            )
         self._seq += 1
         heapq.heappush(
             self._queue,
@@ -171,9 +204,12 @@ class AsyncEngine:
     def run(self, until: float = float("inf")) -> float:
         """Start every node, drain the queue until *until*; returns the
         final simulated time."""
+        if self.bus.wants(RunStarted.topic):
+            self.bus.publish(RunStarted("asyncsim"))
         for node_id in self.node_ids:
             ctx = AsyncContext(self, node_id)
             self._nodes[node_id].on_start(ctx)
+        emit_deliver = self.bus.sink(InboxDelivered.topic)
         while self._queue and self._queue[0].time <= until:
             entry = heapq.heappop(self._queue)
             self.time = max(self.time, entry.time)
@@ -182,6 +218,15 @@ class AsyncEngine:
             if entry.action == "message":
                 self.delivered += 1
                 self._heard_from[entry.recipient].add(entry.message.sender)
+                if emit_deliver is not None:
+                    emit_deliver(
+                        InboxDelivered(
+                            0,
+                            entry.recipient,
+                            (entry.message,),
+                            time=self.time,
+                        )
+                    )
                 node.log.append(
                     (
                         "recv",

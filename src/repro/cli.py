@@ -104,7 +104,18 @@ def _build_scenario(args, f_override: int | None = None, seed: int = 0):
 
 
 def cmd_run(args) -> int:
-    result = run_scenario(_build_scenario(args, seed=args.seed))
+    sink = None
+    bus = None
+    if args.events:
+        from repro.obs import EventBus
+
+        bus = EventBus()
+        sink = bus.to_jsonl(args.events)
+    try:
+        result = run_scenario(_build_scenario(args, seed=args.seed), bus=bus)
+    finally:
+        if sink is not None:
+            sink.close()
     print(f"protocol : {args.protocol}")
     print(f"n={args.n} f={args.f} adversary={args.adversary} seed={args.seed}")
     print(f"rounds   : {result.rounds}")
@@ -112,6 +123,8 @@ def cmd_run(args) -> int:
     print(f"outputs  : {result.outputs}")
     report = check_agreement(result)
     print(f"agreement: {'OK' if report.ok else report.violations}")
+    if sink is not None:
+        print(f"events   : {sink.count} -> {args.events}")
     if args.timeline:
         from repro.analysis.timeline import render_timeline
 
@@ -268,6 +281,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline",
         action="store_true",
         help="print the round-by-round event timeline",
+    )
+    run_p.add_argument(
+        "--events",
+        default=None,
+        metavar="FILE",
+        help="stream the run's full event plane to FILE as "
+        "schema-versioned JSONL (see docs/observability.md)",
     )
     run_p.set_defaults(func=cmd_run)
 

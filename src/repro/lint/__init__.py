@@ -33,6 +33,10 @@ The rule families:
   iteration over unordered collections in protocol code.
 * **R4xx — protocol hygiene**: protocols never touch ``Outbox`` or
   stamp sender ids; the network does.
+* **R5xx — event-plane discipline**: protocols emit semantic events
+  only through ``NodeApi.emit``; the observability plumbing
+  (``EventBus``, ``Trace``, ``Metrics``, sinks) belongs to the
+  runtimes (``repro.obs``, docs/observability.md).
 """
 
 from __future__ import annotations

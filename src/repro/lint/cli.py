@@ -24,7 +24,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Statically enforce the paper's model invariants: the "
             "id-only model (R1xx), integer quorum math (R2xx), "
-            "simulator determinism (R3xx), protocol hygiene (R4xx)."
+            "simulator determinism (R3xx), protocol hygiene (R4xx), "
+            "event-plane discipline (R5xx)."
         ),
     )
     parser.add_argument(

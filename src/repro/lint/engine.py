@@ -34,6 +34,7 @@ KNOWN_LAYERS = (
     "net",
     "adversary",
     "analysis",
+    "obs",
     "lint",
 )
 

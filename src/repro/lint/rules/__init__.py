@@ -20,6 +20,7 @@ from repro.lint.rules.id_only import (
     GlobalMembershipSurface,
     KnownPopulationParameter,
 )
+from repro.lint.rules.observability import EventPlaneBypass
 from repro.lint.rules.quorum_math import (
     CeilFloorThreshold,
     FloatDivisionThreshold,
@@ -44,6 +45,7 @@ def all_rules() -> list[Rule]:
         PrivateApiAccess(),
         SenderStamping(),
         InboxInternalsAccess(),
+        EventPlaneBypass(),
     ]
 
 

@@ -21,7 +21,11 @@ from repro.lint.engine import FileContext, Rule
 PROTOCOL_LAYERS = ("core", "baselines")
 
 #: NodeApi / engine internals that protocol code must not reach into.
-PRIVATE_ATTRS = frozenset({"_outbox", "_known_contacts", "_nodes"})
+#: ``_trace_sink`` is the api's handle onto the event plane — grabbing
+#: it would let a protocol publish events the engine never produced.
+PRIVATE_ATTRS = frozenset(
+    {"_outbox", "_known_contacts", "_nodes", "_trace_sink"}
+)
 
 #: Inbox / InboxIndex internals.  The engine shares one index across all
 #: recipients of a round's broadcasts; protocol code that reaches past
@@ -82,7 +86,7 @@ class PrivateApiAccess(Rule):
     name = "private-api-access"
     description = (
         "protocol code may not touch NodeApi/engine internals "
-        "(_outbox, _known_contacts, _nodes)"
+        "(_outbox, _known_contacts, _nodes, _trace_sink)"
     )
 
     def applies_to(self, ctx: FileContext) -> bool:

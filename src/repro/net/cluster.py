@@ -27,6 +27,10 @@ class LocalCluster:
     ``byzantine`` ids run simulator-style Byzantine strategies over TCP
     via :class:`~repro.net.byzantine.ByzantineRunner` — the net
     counterpart of :class:`repro.sim.runner.Scenario`.
+
+    Pass ``bus`` (an :class:`~repro.obs.bus.EventBus`) to observe every
+    correct runner on one shared event stream; runners publish from
+    their own threads, so attach subscribers before :meth:`run`.
     """
 
     def __init__(
@@ -38,6 +42,7 @@ class LocalCluster:
         seed: int = 0,
         byzantine: int = 0,
         strategy_factory: Callable[[NodeId, int], object] | None = None,
+        bus=None,
     ):
         from repro.errors import ConfigurationError
         from repro.net.byzantine import ByzantineRunner
@@ -62,7 +67,8 @@ class LocalCluster:
             self.peers[node_id] = peer
             self.protocols[node_id] = protocol
             self.runners[node_id] = LockstepRunner(
-                peer, protocol, period=period, max_rounds=max_rounds
+                peer, protocol, period=period, max_rounds=max_rounds,
+                bus=bus,
             )
         for index, node_id in enumerate(byzantine_ids):
             peer = NetPeer(node_id)

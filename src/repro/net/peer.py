@@ -122,12 +122,30 @@ class NetPeer:
                     self.frames_received += 1
                     self._by_round[frame["round"]].append(frame)
 
-    def take_round(self, round_no: int) -> list[dict]:
-        """Drain all frames stamped with *round_no* (and purge older)."""
+    def take_round(
+        self, round_no: int, max_round: int | None = None
+    ) -> list[dict]:
+        """Drain all frames stamped with *round_no*.
+
+        Also purges (counting them in :attr:`frames_dropped`) frames
+        from already-consumed rounds (``< round_no``) and — when
+        *max_round* is given — frames stamped further ahead than any
+        honest peer could be (``> max_round``): with a shared start
+        instant, a peer is at most one round ahead of the caller, so a
+        farther-future stamp is forged or corrupt and must not sit in
+        the queue waiting to be consumed at face value later.
+        """
         with self._inbox_lock:
             frames = self._by_round.pop(round_no, [])
-            stale = [r for r in self._by_round if r < round_no]
-            for r in stale:
+            if max_round is None:
+                bogus = [r for r in self._by_round if r < round_no]
+            else:
+                bogus = [
+                    r
+                    for r in self._by_round
+                    if r < round_no or r > max_round
+                ]
+            for r in bogus:
                 self.frames_dropped += len(self._by_round.pop(r))
         return frames
 

@@ -1,0 +1,183 @@
+"""The event taxonomy: one typed vocabulary for all three runtimes.
+
+Every observable thing a runtime does is an event object with a stable
+``topic`` string.  Events are plain slotted dataclasses, *not* frozen:
+``frozen=True`` routes every field assignment through
+``object.__setattr__`` and makes construction ~5x slower, which matters
+on the hot path (one :class:`MessageSent` per logical send).  Treat
+events as immutable by convention — publishers recycle nothing, but
+subscribers must never mutate what they receive.  The sync simulator (:mod:`repro.sim.network`),
+the TCP lock-step runner (:mod:`repro.net.runner`) and the discrete-event
+engine (:mod:`repro.asyncsim.engine`) all publish the *same* classes onto
+an :class:`~repro.obs.bus.EventBus`, so every consumer — traces, metrics,
+online monitors, timelines, replay recorders, JSONL files — works
+unchanged whichever runtime drove the run.
+
+Topics
+======
+
+========== =============================== ===============================
+topic       event class                    emitted by
+========== =============================== ===============================
+run-start   :class:`RunStarted`            all runtimes, once per run
+round-start :class:`RoundStarted`          sim + net, each round
+round-end   :class:`RoundEnded`            sim + net, each round
+send        :class:`MessageSent`           all runtimes, per logical send
+deliver     :class:`InboxDelivered`        all runtimes, per recipient
+drop        :class:`FramesDropped`         net, per purged frame batch
+engine-phase :class:`EnginePhase`          sim, when a clock is injected
+protocol    :class:`ProtocolEvent`         protocol code via NodeApi.emit
+========== =============================== ===============================
+
+Round-less runtimes (asyncsim) publish with ``round=0`` and carry the
+simulated time in the event's ``time`` field (or ``detail["time"]`` for
+protocol events); round-structured runtimes leave ``time`` as ``None``.
+
+The JSONL rendering of this taxonomy is versioned by
+:data:`SCHEMA_VERSION` (see :mod:`repro.obs.jsonl`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Hashable, Sequence
+
+from repro.types import NodeId, Round
+
+#: Version of the event vocabulary *and* its JSONL rendering.  Bump on
+#: any field/topic change and document the migration in
+#: docs/observability.md.
+SCHEMA_VERSION = 1
+
+
+@dataclass(slots=True)
+class ProtocolEvent:
+    """One semantic event emitted by a node (``NodeApi.emit``).
+
+    This is the *semantic* stream — ``accept``, ``decide``,
+    ``good-round`` — the paper's timing claims quantify over, and the
+    one the cross-runtime parity test pins: the same protocol run must
+    produce the same ordered ``ProtocolEvent`` stream on any runtime.
+    (Exported from :mod:`repro.sim.trace` as ``TraceEvent`` for
+    backward compatibility.)
+    """
+
+    round: Round
+    node: NodeId
+    event: str
+    detail: dict[str, Any]
+
+    topic: ClassVar[str] = "protocol"
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.detail.get(key, default)
+
+
+@dataclass(slots=True)
+class RunStarted:
+    """A runtime began executing a run."""
+
+    runtime: str  # "sim" | "net" | "asyncsim"
+    seed: int | None = None
+
+    topic: ClassVar[str] = "run-start"
+
+
+@dataclass(slots=True)
+class RoundStarted:
+    """A synchronous round began (before delivery)."""
+
+    round: Round
+
+    topic: ClassVar[str] = "round-start"
+
+
+@dataclass(slots=True)
+class RoundEnded:
+    """A synchronous round finished (all sends staged/transmitted)."""
+
+    round: Round
+
+    topic: ClassVar[str] = "round-end"
+
+
+@dataclass(slots=True)
+class EnginePhase:
+    """Wall time one engine phase took (observability only; emitted
+    only when the engine was built with an injected clock)."""
+
+    round: Round
+    phase: str  # "deliver" | "correct" | "adversary" | "stage"
+    seconds: float
+
+    topic: ClassVar[str] = "engine-phase"
+
+
+@dataclass(slots=True)
+class MessageSent:
+    """One logical send (a ``broadcast`` or ``send`` call).
+
+    ``dest is None`` means broadcast.  ``staged`` is True when the sync
+    engine accepted the send into a staging queue (False for per-round
+    duplicates, dead destinations, and for runtimes without staging).
+    """
+
+    round: Round
+    sender: NodeId
+    kind: str
+    payload: Hashable = None
+    instance: Hashable = None
+    dest: NodeId | None = None
+    wire_bytes: int = 0
+    staged: bool = False
+    time: float | None = None
+
+    topic: ClassVar[str] = "send"
+
+
+@dataclass(slots=True)
+class InboxDelivered:
+    """One recipient's deliveries for one round (or one asyncsim
+    delivery, as a singleton batch).
+
+    ``messages`` aliases the runtime's own delivery sequence — for the
+    sync engine's all-broadcast path that is the round's *shared*
+    message tuple, so emitting this event costs no copies.  Subscribers
+    must treat it as immutable.
+    """
+
+    round: Round
+    recipient: NodeId
+    messages: Sequence[Any]
+    time: float | None = None
+
+    topic: ClassVar[str] = "deliver"
+
+
+@dataclass(slots=True)
+class FramesDropped:
+    """Inbound frames discarded without delivery (net runtime: frames
+    stamped outside the runner's clock window)."""
+
+    round: Round
+    node: NodeId
+    count: int
+    reason: str
+
+    topic: ClassVar[str] = "drop"
+
+
+#: Every event class, keyed by topic (the JSONL reader uses this).
+EVENT_TYPES: dict[str, type] = {
+    cls.topic: cls
+    for cls in (
+        ProtocolEvent,
+        RunStarted,
+        RoundStarted,
+        RoundEnded,
+        EnginePhase,
+        MessageSent,
+        InboxDelivered,
+        FramesDropped,
+    )
+}

@@ -1,0 +1,167 @@
+"""Schema-versioned JSONL rendering of the event stream.
+
+One JSON object per line; the first line is a schema header::
+
+    {"topic": "schema", "v": 1, "format": "repro.obs"}
+    {"topic": "round-start", "round": 1}
+    {"topic": "send", "round": 1, "sender": 42, "kind": "echo", ...}
+    {"topic": "protocol", "round": 7, "node": 42, "event": "decide", ...}
+
+JSON-native values pass through; dicts and sequences recurse (tuples
+become JSON arrays); everything else (``⊥``, frozensets, protocol
+payload objects) is rendered via ``repr`` — the same witness-not-wire
+convention :mod:`repro.sim.replay` uses — so a recording is diffable
+and greppable with ordinary tools without committing to a wire codec.
+
+``deliver`` events render their message batch as a count plus a list of
+``{"from", "kind", "payload", "instance"}`` objects, so post-processing
+never needs the in-memory :class:`~repro.sim.message.Message` type.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+from dataclasses import fields
+from typing import Any, Iterable, Iterator
+
+from repro.obs.events import SCHEMA_VERSION, EVENT_TYPES, ProtocolEvent
+
+__all__ = [
+    "JsonlSink",
+    "event_to_json",
+    "load_protocol_events",
+    "read_jsonl",
+]
+
+_JSON_NATIVE = (str, int, float, bool, type(None))
+
+
+def _jsonable(value: Any) -> Any:
+    """JSON-native passthrough; everything else degrades to ``repr``."""
+    if isinstance(value, _JSON_NATIVE):
+        return value
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return repr(value)
+
+
+def _message_to_json(message: Any) -> dict:
+    """Render one delivered message (sim Message or asyncsim
+    AsyncMessage) without importing either type."""
+    return {
+        "from": _jsonable(message.sender),
+        "kind": message.kind,
+        "payload": _jsonable(message.payload),
+        "instance": _jsonable(getattr(message, "instance", None)),
+    }
+
+
+def event_to_json(event: Any) -> dict:
+    """One event -> one JSON-ready dict (``topic`` first)."""
+    doc: dict[str, Any] = {"topic": event.topic}
+    for field in fields(event):
+        value = getattr(event, field.name)
+        if field.name == "messages":
+            doc["count"] = len(value)
+            doc["messages"] = [_message_to_json(m) for m in value]
+        elif value is not None or field.name in ("payload", "instance"):
+            doc[field.name] = _jsonable(value)
+    return doc
+
+
+class JsonlSink:
+    """An all-topics subscriber streaming events to a JSONL file.
+
+    Owns the file handle when constructed from a path (and closes it on
+    :meth:`close`); borrows it when handed an open file object.  The
+    schema header line is written at attach time, so even an eventless
+    run produces a well-formed, versioned file.
+    """
+
+    def __init__(self, bus, target) -> None:
+        self._bus = bus
+        if isinstance(target, (str, pathlib.Path)):
+            self._fh: io.TextIOBase = open(target, "w", encoding="utf-8")
+            self._owns_fh = True
+        else:
+            self._fh = target
+            self._owns_fh = False
+        self.count = 0
+        self._fh.write(
+            json.dumps(
+                {"topic": "schema", "v": SCHEMA_VERSION, "format": "repro.obs"}
+            )
+            + "\n"
+        )
+        bus.subscribe(self, topics=None)
+
+    def __call__(self, event: Any) -> None:
+        self._fh.write(json.dumps(event_to_json(event)) + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        """Detach from the bus; flush (and close an owned file)."""
+        self._bus.unsubscribe(self)
+        if self._owns_fh:
+            self._fh.close()
+        else:
+            self._fh.flush()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def read_jsonl(source) -> Iterator[dict]:
+    """Iterate the event dicts of a JSONL recording (header included).
+
+    *source* is a path or an iterable of lines.  Raises ``ValueError``
+    on a schema version newer than this reader understands.
+    """
+    lines: Iterable[str]
+    if isinstance(source, (str, pathlib.Path)):
+        lines = pathlib.Path(source).read_text(encoding="utf-8").splitlines()
+    else:
+        lines = source
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        doc = json.loads(line)
+        if doc.get("topic") == "schema" and doc.get("v", 0) > SCHEMA_VERSION:
+            raise ValueError(
+                f"events file has schema v{doc['v']}; this reader "
+                f"understands up to v{SCHEMA_VERSION}"
+            )
+        yield doc
+
+
+def load_protocol_events(source) -> list[ProtocolEvent]:
+    """Rehydrate the semantic (``protocol``) events of a recording.
+
+    Payload values inside ``detail`` come back as their JSONL rendering
+    (JSON-native values intact, everything else as ``repr`` strings) —
+    enough for timelines, monitors, and stream diffing.
+    """
+    events: list[ProtocolEvent] = []
+    for doc in read_jsonl(source):
+        if doc.get("topic") != ProtocolEvent.topic:
+            continue
+        events.append(
+            ProtocolEvent(
+                doc["round"], doc["node"], doc["event"],
+                dict(doc.get("detail", {})),
+            )
+        )
+    return events
+
+
+#: Topic -> event class map, re-exported for consumers that want to
+#: dispatch on rehydrated dicts.
+TOPICS = dict(EVENT_TYPES)

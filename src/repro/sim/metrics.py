@@ -4,6 +4,11 @@ A *logical send* is one ``broadcast``/``send`` call; a *delivery* is one
 message landing in one inbox (a broadcast to ``k`` recipients is one send
 and ``k`` deliveries).  The paper's message-complexity discussion counts
 logical sends, so benchmarks report both.
+
+Metrics is a *subscriber* of the run's :class:`~repro.obs.bus.EventBus`
+(:meth:`Metrics.attach`): whichever runtime publishes the wire events
+(sim, net, asyncsim), the same counters accumulate.  The ``record_*``
+methods remain for direct use in tests and ad-hoc tooling.
 """
 
 from __future__ import annotations
@@ -16,7 +21,7 @@ from repro.types import NodeId
 
 @dataclass
 class Metrics:
-    """Aggregated counters for one simulation run."""
+    """Aggregated counters for one run (any runtime)."""
 
     rounds: int = 0
     sends_total: int = 0
@@ -27,6 +32,9 @@ class Metrics:
     #: this is the engine's per-round allocation footprint (the pre-O(sends)
     #: engine staged one entry per recipient, i.e. deliveries_total).
     staged_total: int = 0
+    #: Inbound frames the net runtime discarded without delivery
+    #: (stamped outside the runner's round window).
+    frames_dropped: int = 0
     sends_by_node: Counter = field(default_factory=Counter)
     sends_by_kind: Counter = field(default_factory=Counter)
     bytes_by_kind: Counter = field(default_factory=Counter)
@@ -40,6 +48,60 @@ class Metrics:
     engine_time_by_phase: Counter = field(default_factory=Counter)
     engine_time_by_round: Counter = field(default_factory=Counter)
 
+    # ------------------------------------------------------------------
+    # Event-bus subscription
+    # ------------------------------------------------------------------
+    def attach(self, bus) -> "Metrics":
+        """Subscribe these counters to *bus*; returns self for chaining."""
+        bus.subscribe(self._on_round_start, "round-start")
+        bus.subscribe(self._on_send, "send")
+        bus.subscribe(self._on_deliver, "deliver")
+        bus.subscribe(self._on_phase, "engine-phase")
+        bus.subscribe(self._on_drop, "drop")
+        return self
+
+    def detach(self, bus) -> None:
+        """Stop counting events from *bus* (zero-cost once detached)."""
+        bus.unsubscribe(self._on_round_start)
+        bus.unsubscribe(self._on_send)
+        bus.unsubscribe(self._on_deliver)
+        bus.unsubscribe(self._on_phase)
+        bus.unsubscribe(self._on_drop)
+
+    def _on_round_start(self, event) -> None:
+        self.record_round(event.round)
+
+    def _on_send(self, event) -> None:
+        # Hot path (one call per logical send): counters are bumped
+        # inline rather than via record_send/record_staged.
+        round_no = event.round
+        kind = event.kind
+        self.sends_total += 1
+        self.sends_by_node[event.sender] += 1
+        self.sends_by_kind[kind] += 1
+        self.sends_by_round[round_no] += 1
+        wire_bytes = event.wire_bytes
+        if wire_bytes:
+            self.bytes_total += wire_bytes
+            self.bytes_by_kind[kind] += wire_bytes
+        if event.staged:
+            self.staged_total += 1
+            self.staged_by_round[round_no] += 1
+
+    def _on_deliver(self, event) -> None:
+        count = len(event.messages)
+        self.deliveries_total += count
+        self.deliveries_by_round[event.round] += count
+
+    def _on_phase(self, event) -> None:
+        self.record_engine_time(event.round, event.phase, event.seconds)
+
+    def _on_drop(self, event) -> None:
+        self.frames_dropped += event.count
+
+    # ------------------------------------------------------------------
+    # Direct recording
+    # ------------------------------------------------------------------
     def record_send(
         self,
         round_no: int,
@@ -89,6 +151,11 @@ class Metrics:
             "sends_per_round": round(self.sends_per_round, 2),
             "kinds": dict(self.sends_by_kind),
         }
+        if self.bytes_total:
+            summary["bytes_total"] = self.bytes_total
+            summary["bytes_by_kind"] = dict(self.bytes_by_kind)
+        if self.frames_dropped:
+            summary["frames_dropped"] = self.frames_dropped
         if self.engine_time_by_phase:
             summary["engine_time_by_phase"] = {
                 phase: round(seconds, 6)

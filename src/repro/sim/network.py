@@ -16,7 +16,13 @@ Executes the id-only model exactly:
   own, the strongest adversary the model admits.
 
 The engine knows nothing about any particular protocol; it moves messages,
-tracks contacts, applies membership changes, and records metrics/traces.
+tracks contacts, applies membership changes, and publishes everything
+observable onto the run's :class:`~repro.obs.bus.EventBus` — the default
+:class:`~repro.sim.metrics.Metrics` and :class:`~repro.sim.trace.Trace`
+are ordinary subscribers of that bus, as are monitors, recorders, and
+JSONL sinks (see docs/observability.md).  Per-topic sinks are cached
+against the bus version, so a topic nobody subscribed to costs the hot
+path one ``None`` check per emission site.
 
 Staging is O(logical sends), not O(sends x recipients): each ``Send`` is
 stamped into its immutable :class:`~repro.sim.message.Message` exactly once,
@@ -50,6 +56,16 @@ from typing import Any, Callable, Iterable, Sequence
 from typing import Protocol as TypingProtocol
 
 from repro.errors import ConfigurationError, RoundLimitExceeded
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    EnginePhase,
+    InboxDelivered,
+    MessageSent,
+    ProtocolEvent,
+    RoundEnded,
+    RoundStarted,
+    RunStarted,
+)
 from repro.sim.inbox import Inbox, InboxIndex
 from repro.sim.membership import MembershipSchedule
 from repro.sim.message import BROADCAST, Message, Outbox, Send
@@ -141,13 +157,19 @@ class SyncNetwork:
         membership: MembershipSchedule | None = None,
         measure_bytes: bool = False,
         clock: Callable[[], float] | None = None,
+        bus: EventBus | None = None,
     ):
         self.seed = seed
         self._rng = make_rng(seed)
         self.rushing = rushing
         self.membership = membership or MembershipSchedule()
-        self.metrics = Metrics()
-        self.trace = Trace()
+        #: The run's event plane.  Pass a shared bus to observe several
+        #: networks on one stream; by default each network gets its own,
+        #: pre-wired with a Metrics and a Trace subscriber (detach them
+        #: via metrics.detach(bus) / trace.detach(bus) for a bare bus).
+        self.bus = bus if bus is not None else EventBus()
+        self.metrics = Metrics().attach(self.bus)
+        self.trace = Trace().attach(self.bus)
         self.round: Round = 0
         #: When set, every logical send is also costed in wire bytes
         #: using the repro.net frame codec (see Metrics.bytes_total).
@@ -167,6 +189,16 @@ class SyncNetwork:
         #: Sorted alive-node lists keyed by byzantine flag, rebuilt only
         #: when the population changes (join / leave / removal).
         self._alive_cache: dict[bool, list[_NodeState]] = {}
+        #: Per-topic emission sinks, snapshotted from the bus and
+        #: rebuilt only when its version changes (see _refresh_sinks).
+        self._bus_version = -1
+        self._emit_round_start = None
+        self._emit_round_end = None
+        self._emit_send = None
+        self._emit_deliver = None
+        self._emit_phase = None
+        self._protocol_sink = None
+        self._refresh_sinks()
 
     # ------------------------------------------------------------------
     # Population management
@@ -271,10 +303,39 @@ class SyncNetwork:
             raise RoundLimitExceeded(max_rounds, running)
         return self.round
 
+    def _refresh_sinks(self) -> None:
+        """Re-snapshot the per-topic dispatchers.
+
+        A ``None`` sink is the zero-cost contract: nobody listens, so
+        the emission site skips constructing the event entirely.
+        """
+        bus = self.bus
+        self._bus_version = bus.version
+        self._emit_round_start = bus.sink(RoundStarted.topic)
+        self._emit_round_end = bus.sink(RoundEnded.topic)
+        self._emit_send = bus.sink(MessageSent.topic)
+        self._emit_deliver = bus.sink(InboxDelivered.topic)
+        self._emit_phase = bus.sink(EnginePhase.topic)
+        sink = bus.sink(ProtocolEvent.topic)
+        if sink is None:
+            self._protocol_sink = None
+        else:
+            def protocol_sink(round_no, node, event, detail, _sink=sink):
+                _sink(ProtocolEvent(round_no, node, event, dict(detail)))
+
+            self._protocol_sink = protocol_sink
+
     def step(self) -> None:
         """Execute one synchronous round."""
+        if self.bus.version != self._bus_version:
+            self._refresh_sinks()
         self.round += 1
-        self.metrics.record_round(self.round)
+        if self.round == 1:
+            run_start = self.bus.sink(RunStarted.topic)
+            if run_start is not None:
+                run_start(RunStarted("sim", self.seed))
+        if self._emit_round_start is not None:
+            self._emit_round_start(RoundStarted(self.round))
         clock = self._clock
         t0 = clock() if clock else 0.0
         self._apply_membership()
@@ -318,12 +379,16 @@ class SyncNetwork:
 
         self._stage(correct_sends)
         self._stage(byz_sends)
-        if clock:
+        emit_phase = self._emit_phase
+        if clock and emit_phase is not None:
             t4 = clock()
-            self.metrics.record_engine_time(self.round, "deliver", t1 - t0)
-            self.metrics.record_engine_time(self.round, "correct", t2 - t1)
-            self.metrics.record_engine_time(self.round, "adversary", t3 - t2)
-            self.metrics.record_engine_time(self.round, "stage", t4 - t3)
+            round_no = self.round
+            emit_phase(EnginePhase(round_no, "deliver", t1 - t0))
+            emit_phase(EnginePhase(round_no, "correct", t2 - t1))
+            emit_phase(EnginePhase(round_no, "adversary", t3 - t2))
+            emit_phase(EnginePhase(round_no, "stage", t4 - t3))
+        if self._emit_round_end is not None:
+            self._emit_round_end(RoundEnded(self.round))
 
     # ------------------------------------------------------------------
     # Internals
@@ -377,7 +442,7 @@ class SyncNetwork:
 
         inboxes: dict[NodeId, Inbox] = {}
         round_no = self.round
-        record_delivery = self.metrics.record_delivery
+        emit_deliver = self._emit_deliver
         for state in self._nodes.values():
             direct = state.direct
             if direct:
@@ -426,7 +491,20 @@ class SyncNetwork:
             else:
                 inbox = Inbox(delivered)
                 state.contacts.update(m.sender for m in delivered)
-            record_delivery(round_no, len(delivered))
+            if emit_deliver is not None:
+                # ``delivered`` equals the inbox's message sequence in
+                # every branch above; the shared-broadcast path emits
+                # the round's shared tuple itself, so the event costs
+                # no copies.
+                emit_deliver(
+                    InboxDelivered(
+                        round_no,
+                        state.node_id,
+                        delivered
+                        if type(delivered) is tuple
+                        else tuple(delivered),
+                    )
+                )
             inboxes[state.node_id] = inbox
         return inboxes
 
@@ -455,10 +533,13 @@ class SyncNetwork:
                 self.round,
                 state.contacts_view(),
                 Outbox(),
-                self.trace.record,
+                self._protocol_sink,
             )
         else:
             api.round = self.round
+            # Re-point at the current protocol sink: subscriptions may
+            # have changed between rounds (None = nobody listens).
+            api._trace_sink = self._protocol_sink
             # contacts_view() inlined: this runs once per node per round.
             frozen = state.contacts_frozen
             if len(frozen) != len(state.contacts):
@@ -498,18 +579,31 @@ class SyncNetwork:
         resolved at delivery time); direct sends join the destination's
         queue if the destination currently exists and is alive.
         """
+        round_no = self.round
+        emit_send = self._emit_send
         for sender, send in sends:
-            self.metrics.record_send(
-                self.round, sender, send.kind, self._wire_cost(sender, send)
-            )
             message = send.stamped(sender)
-            if send.dest is BROADCAST:
-                if message not in self._broadcast_keys:
+            dest = send.dest
+            if dest is BROADCAST:
+                staged = message not in self._broadcast_keys
+                if staged:
                     self._broadcast_keys.add(message)
                     self._broadcasts.append(message)
-                    self.metrics.record_staged(self.round)
             else:
-                state = self._nodes.get(send.dest)
-                if state is not None and state.alive:
+                state = self._nodes.get(dest)
+                staged = state is not None and state.alive
+                if staged:
                     state.direct.append(message)
-                    self.metrics.record_staged(self.round)
+            if emit_send is not None:
+                emit_send(
+                    MessageSent(
+                        round_no,
+                        sender,
+                        send.kind,
+                        send.payload,
+                        send.instance,
+                        None if dest is BROADCAST else dest,
+                        self._wire_cost(sender, send),
+                        staged,
+                    )
+                )

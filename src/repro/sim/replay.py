@@ -117,10 +117,12 @@ class RunRecording:
 class RecordingNetwork(SyncNetwork):
     """A :class:`SyncNetwork` that records every delivery it makes.
 
-    Records are derived from the inboxes the engine actually hands out,
+    The recorder is an ordinary ``deliver``-topic subscriber of the
+    network's event bus: each :class:`~repro.obs.events.InboxDelivered`
+    event carries exactly the message sequence the engine handed out,
     so the recording matches the simulation's duplicate suppression and
-    recipient resolution exactly by construction (an earlier version
-    re-derived deliveries from the staging queues with its own — subtly
+    recipient resolution by construction (an earlier version re-derived
+    deliveries from the staging queues with its own — subtly
     different — dedup key).  The seed is read back from the constructed
     network, so it is captured correctly whether it was passed
     positionally or by keyword.
@@ -129,23 +131,23 @@ class RecordingNetwork(SyncNetwork):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.recording = RunRecording(seed=self.seed)
+        self.bus.subscribe(self._record_delivery, "deliver")
 
-    def _collect_inboxes(self):
-        inboxes = super()._collect_inboxes()
+    def _record_delivery(self, event) -> None:
         append = self.recording.deliveries.append
-        for recipient, inbox in inboxes.items():
-            for message in inbox:
-                append(
-                    DeliveryRecord(
-                        round=self.round,
-                        sender=message.sender,
-                        recipient=recipient,
-                        kind=message.kind,
-                        payload_repr=repr(message.payload),
-                        instance_repr=repr(message.instance),
-                    )
+        round_no = event.round
+        recipient = event.recipient
+        for message in event.messages:
+            append(
+                DeliveryRecord(
+                    round=round_no,
+                    sender=message.sender,
+                    recipient=recipient,
+                    kind=message.kind,
+                    payload_repr=repr(message.payload),
+                    instance_repr=repr(message.instance),
                 )
-        return inboxes
+            )
 
     def finalize_recording(self) -> RunRecording:
         self.recording.rounds = self.round

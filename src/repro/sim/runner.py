@@ -91,8 +91,13 @@ class ScenarioResult:
         return self.outputs[node_id]
 
 
-def run_scenario(scenario: Scenario) -> ScenarioResult:
-    """Build the network described by *scenario*, run it, return the result."""
+def run_scenario(scenario: Scenario, *, bus=None) -> ScenarioResult:
+    """Build the network described by *scenario*, run it, return the result.
+
+    *bus* (an :class:`~repro.obs.bus.EventBus`) lets callers observe the
+    run — attach monitors or a JSONL sink before calling; ``None`` gives
+    the network its own private bus as usual.
+    """
     scenario.validate()
     rng = make_rng(scenario.seed)
     total = scenario.correct + scenario.byzantine
@@ -109,6 +114,7 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         seed=scenario.seed,
         rushing=scenario.rushing,
         membership=scenario.membership,
+        bus=bus,
     )
     protocols: dict[NodeId, Protocol] = {}
     for index, node_id in enumerate(correct_ids):

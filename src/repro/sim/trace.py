@@ -5,6 +5,13 @@ through :meth:`repro.sim.node.NodeApi.emit`; the trace records them with the
 round and node so that property checkers can verify timing-sensitive claims
 such as the relay property ("if a correct node accepts in round ``r``, every
 correct node accepts by ``r + 1``") after the run.
+
+The event class itself lives in :mod:`repro.obs.events` as
+:class:`~repro.obs.events.ProtocolEvent` (re-exported here as
+``TraceEvent`` for backward compatibility), and a :class:`Trace` is one
+subscriber of the run's :class:`~repro.obs.bus.EventBus`
+(:meth:`Trace.attach`) — it keeps the append-only log and the query
+helpers; the stream itself is the bus's.
 """
 
 from __future__ import annotations
@@ -12,25 +19,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.obs.events import ProtocolEvent
 from repro.types import NodeId, Round
 
+#: Backward-compatible alias: the semantic event type now shared by all
+#: runtimes.
+TraceEvent = ProtocolEvent
 
-@dataclass(frozen=True, slots=True)
-class TraceEvent:
-    """One semantic event emitted by a node during a run."""
-
-    round: Round
-    node: NodeId
-    event: str
-    detail: dict[str, Any]
-
-    def get(self, key: str, default: Any = None) -> Any:
-        return self.detail.get(key, default)
+__all__ = ["Trace", "TraceEvent"]
 
 
 @dataclass
 class Trace:
-    """Append-only event log for one run.
+    """Append-only semantic-event log for one run.
 
     Observers subscribed via :meth:`subscribe` see every event as it is
     recorded — the hook behind the online monitors in
@@ -45,13 +46,26 @@ class Trace:
         """Register ``observer(event: TraceEvent)`` for live events."""
         self._observers.append(observer)
 
+    def attach(self, bus) -> "Trace":
+        """Log the ``protocol`` events of *bus*; returns self."""
+        bus.subscribe(self.ingest, TraceEvent.topic)
+        return self
+
+    def detach(self, bus) -> None:
+        """Stop logging events from *bus*."""
+        bus.unsubscribe(self.ingest)
+
+    def ingest(self, event: TraceEvent) -> None:
+        """Append an already-constructed event (the bus handler)."""
+        self.events.append(event)
+        for observer in self._observers:
+            observer(event)
+
     def record(
         self, round_no: Round, node: NodeId, event: str, detail: dict[str, Any]
     ) -> None:
-        recorded = TraceEvent(round_no, node, event, dict(detail))
-        self.events.append(recorded)
-        for observer in self._observers:
-            observer(recorded)
+        """Construct and append an event directly (tests, ad-hoc use)."""
+        self.ingest(TraceEvent(round_no, node, event, dict(detail)))
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)

@@ -1,0 +1,93 @@
+"""R5xx — event-plane discipline rules."""
+
+from __future__ import annotations
+
+
+def codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+class TestEventPlaneBypass:
+    def test_obs_import_flagged(self, lint_tree):
+        result = lint_tree(
+            {"repro/core/bad.py": "from repro.obs import EventBus\n"},
+            select=["R501"],
+        )
+        assert codes(result) == ["R501"]
+
+    def test_obs_submodule_import_flagged(self, lint_tree):
+        result = lint_tree(
+            {"repro/baselines/bad.py": "import repro.obs.bus\n"},
+            select=["R501"],
+        )
+        assert codes(result) == ["R501"]
+
+    def test_trace_import_flagged(self, lint_tree):
+        result = lint_tree(
+            {"repro/core/bad.py": "from repro.sim.trace import Trace\n"},
+            select=["R501"],
+        )
+        assert codes(result) == ["R501"]
+
+    def test_metrics_construction_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/bad.py": """\
+                def sneak():
+                    return Metrics()
+                """
+            },
+            select=["R501"],
+        )
+        assert codes(result) == ["R501"]
+
+    def test_plumbing_name_from_other_module_flagged(self, lint_tree):
+        result = lint_tree(
+            {"repro/core/bad.py": "from somewhere import EventBus\n"},
+            select=["R501"],
+        )
+        assert codes(result) == ["R501"]
+
+    def test_api_emit_passes(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/good.py": """\
+                def on_round(self, api, inbox):
+                    api.emit("accept", tag="t")
+                """
+            },
+            select=["R501"],
+        )
+        assert result.ok
+
+    def test_runtime_layers_may_use_plumbing(self, lint_tree):
+        source = """\
+        from repro.obs import EventBus
+        from repro.sim.metrics import Metrics
+
+        def wire():
+            return Metrics().attach(EventBus())
+        """
+        result = lint_tree(
+            {
+                "repro/sim/ok.py": source,
+                "repro/net/ok.py": source,
+                "repro/analysis/ok.py": source,
+            },
+            select=["R501"],
+        )
+        assert result.ok
+
+
+class TestTraceSinkIsPrivate:
+    def test_trace_sink_attribute_flagged_r402(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/bad.py": """\
+                def hijack(self, api):
+                    api._trace_sink(0, 0, "fake", {})
+                """
+            },
+            select=["R402"],
+        )
+        assert codes(result) == ["R402"]

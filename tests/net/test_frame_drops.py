@@ -1,0 +1,94 @@
+"""Round-window frame hygiene: forged-future and stale stamps drop.
+
+Before this fix, a frame stamped with an arbitrary future round sat in
+the peer's queue at face value and was eventually consumed as if
+legitimate — an easy poisoning vector for a hostile peer.  With a
+shared start instant, honest stamps visible while consuming round
+``r - 1`` lie in ``[r - 1, r + 1]``; anything else is purged and
+counted, and surfaces as ``drop`` events on the bus.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.net import LockstepRunner, NetPeer
+from repro.obs import EventBus
+from repro.sim.node import Protocol
+
+
+class Listener(Protocol):
+    def __init__(self):
+        super().__init__()
+        self.heard = []
+
+    def on_round(self, api, inbox):
+        self.heard.extend((m.kind, m.payload) for m in inbox)
+        if api.round >= 4:
+            self.decide(api, "done")
+
+
+class TestPeerWindow:
+    def test_take_round_purges_outside_window(self):
+        peer = NetPeer(5)
+        # loopback injection needs no started sockets
+        peer.send_to(5, 1, "stale")
+        peer.send_to(5, 3, "current")
+        peer.send_to(5, 4, "next")
+        peer.send_to(5, 5, "ahead-ok")
+        peer.send_to(5, 99, "forged")
+        # the runner at round 4 consumes stamps 3 within window [3, 5]
+        frames = peer.take_round(3, max_round=5)
+        assert [f["kind"] for f in frames] == ["current"]
+        assert peer.frames_dropped == 2  # "stale" and "forged"
+        # in-window future rounds stay queued
+        assert [f["kind"] for f in peer.take_round(4, max_round=6)] == [
+            "next"
+        ]
+        assert [f["kind"] for f in peer.take_round(5, max_round=7)] == [
+            "ahead-ok"
+        ]
+        assert peer.frames_dropped == 2
+
+    def test_take_round_without_max_keeps_future(self):
+        peer = NetPeer(5)
+        peer.send_to(5, 99, "future")
+        assert peer.take_round(3) == []
+        assert peer.frames_dropped == 0
+        assert len(peer.take_round(99, max_round=100)) == 1
+
+
+class TestRunnerDropsForgedFrames:
+    def run_single(self, preload, max_rounds=5):
+        peer = NetPeer(7)
+        peer.start([peer.address])
+        bus = EventBus()
+        drops = []
+        bus.subscribe(drops.append, "drop")
+        protocol = Listener()
+        runner = LockstepRunner(
+            peer, protocol, period=0.01, max_rounds=max_rounds, bus=bus
+        )
+        for round_no, kind in preload:
+            peer.send_to(7, round_no, kind)
+        try:
+            runner.run(time.monotonic())
+        finally:
+            peer.stop()
+        return runner, protocol, drops
+
+    def test_forged_future_frame_never_delivered(self):
+        runner, protocol, drops = self.run_single(
+            [(50, "forged"), (2, "legit")]
+        )
+        kinds = [kind for kind, _payload in protocol.heard]
+        assert "legit" in kinds
+        assert "forged" not in kinds
+        assert runner.frames_dropped >= 1
+        assert drops and drops[0].reason == "outside-round-window"
+        assert sum(d.count for d in drops) == runner.frames_dropped
+
+    def test_clean_run_drops_nothing(self):
+        runner, _protocol, drops = self.run_single([])
+        assert runner.frames_dropped == 0
+        assert drops == []

@@ -1,0 +1,124 @@
+"""EventBus semantics: routing, the zero-cost contract, versioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import EventBus, ProtocolEvent, RoundStarted
+
+
+def ev(round_no=1):
+    return RoundStarted(round_no)
+
+
+class TestRouting:
+    def test_topic_subscriber_sees_only_its_topic(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(got.append, "round-start")
+        bus.publish(ev())
+        bus.publish(ProtocolEvent(1, 7, "decide", {}))
+        assert got == [RoundStarted(1)]
+
+    def test_catch_all_sees_everything(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(got.append)
+        bus.publish(ev())
+        bus.publish(ProtocolEvent(1, 7, "decide", {}))
+        assert len(got) == 2
+
+    def test_multi_topic_subscription(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(got.append, ["round-start", "protocol"])
+        bus.publish(ev())
+        bus.publish(ProtocolEvent(1, 7, "x", {}))
+        assert len(got) == 2
+
+    def test_dispatch_in_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(lambda e: order.append("a"), "round-start")
+        bus.subscribe(lambda e: order.append("b"), "round-start")
+        bus.publish(ev())
+        assert order == ["a", "b"]
+
+    def test_subscriber_exception_propagates(self):
+        # Monitors rely on this: a raise lands inside the offending
+        # round, not in a post-mortem.
+        bus = EventBus()
+
+        def boom(event):
+            raise RuntimeError("invariant broken")
+
+        bus.subscribe(boom, "round-start")
+        with pytest.raises(RuntimeError):
+            bus.publish(ev())
+
+
+class TestZeroCost:
+    def test_sink_none_when_nobody_listens(self):
+        bus = EventBus()
+        assert bus.sink("round-start") is None
+        assert not bus.wants("round-start")
+
+    def test_sink_single_handler_is_the_handler(self):
+        bus = EventBus()
+
+        def handler(event):
+            pass
+
+        bus.subscribe(handler, "round-start")
+        assert bus.sink("round-start") is handler
+
+    def test_sink_fans_out(self):
+        bus = EventBus()
+        a, b = [], []
+        bus.subscribe(a.append, "round-start")
+        bus.subscribe(b.append)
+        sink = bus.sink("round-start")
+        sink(ev())
+        assert a == b == [RoundStarted(1)]
+
+    def test_unsubscribe_restores_none_sink(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(got.append, "round-start")
+        assert bus.unsubscribe(got.append)
+        assert bus.sink("round-start") is None
+        assert not bus.unsubscribe(got.append)
+
+    def test_bound_methods_unsubscribe_by_equality(self):
+        class Counter:
+            def __init__(self):
+                self.n = 0
+
+            def on_event(self, event):
+                self.n += 1
+
+        bus = EventBus()
+        counter = Counter()
+        bus.subscribe(counter.on_event, "round-start")
+        # a *fresh* bound-method object must still match
+        assert bus.unsubscribe(counter.on_event)
+        bus.publish(ev())
+        assert counter.n == 0
+
+
+class TestVersioning:
+    def test_version_bumps_on_subscription_changes(self):
+        bus = EventBus()
+        v0 = bus.version
+        handler = bus.subscribe(lambda e: None, "send")
+        v1 = bus.version
+        bus.unsubscribe(handler)
+        v2 = bus.version
+        assert v0 < v1 < v2
+
+    def test_publish_does_not_bump_version(self):
+        bus = EventBus()
+        bus.subscribe(lambda e: None, "round-start")
+        version = bus.version
+        bus.publish(ev())
+        assert bus.version == version

@@ -1,0 +1,119 @@
+"""JSONL sink: schema header, rendering, rehydration."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    SCHEMA_VERSION,
+    EventBus,
+    InboxDelivered,
+    MessageSent,
+    ProtocolEvent,
+    RoundStarted,
+    event_to_json,
+    load_protocol_events,
+    read_jsonl,
+)
+from repro.sim.message import Message
+
+
+class TestJsonlSink:
+    def test_schema_header_written_at_attach(self):
+        bus = EventBus()
+        buf = io.StringIO()
+        sink = bus.to_jsonl(buf)
+        sink.close()
+        header = json.loads(buf.getvalue().splitlines()[0])
+        assert header == {
+            "topic": "schema",
+            "v": SCHEMA_VERSION,
+            "format": "repro.obs",
+        }
+
+    def test_streams_all_topics_and_counts(self):
+        bus = EventBus()
+        buf = io.StringIO()
+        with bus.to_jsonl(buf) as sink:
+            bus.publish(RoundStarted(1))
+            bus.publish(ProtocolEvent(1, 42, "decide", {"value": 0}))
+        assert sink.count == 2
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert [doc["topic"] for doc in lines] == [
+            "schema", "round-start", "protocol",
+        ]
+        assert lines[2]["detail"] == {"value": 0}
+
+    def test_close_detaches_from_bus(self):
+        bus = EventBus()
+        buf = io.StringIO()
+        sink = bus.to_jsonl(buf)
+        sink.close()
+        bus.publish(RoundStarted(1))
+        assert sink.count == 0
+        assert bus.sink("round-start") is None
+
+    def test_path_target_owns_file(self, tmp_path):
+        bus = EventBus()
+        path = tmp_path / "events.jsonl"
+        sink = bus.to_jsonl(path)
+        bus.publish(RoundStarted(3))
+        sink.close()
+        docs = [json.loads(line) for line in path.read_text().splitlines()]
+        assert docs[1] == {"topic": "round-start", "round": 3}
+
+
+class TestRendering:
+    def test_non_json_payloads_degrade_to_repr(self):
+        event = MessageSent(1, 5, "echo", payload=frozenset({1}))
+        doc = event_to_json(event)
+        assert doc["payload"] == repr(frozenset({1}))
+
+    def test_deliver_renders_message_batch(self):
+        message = Message(sender=9, kind="echo", payload=(1, 2))
+        doc = event_to_json(InboxDelivered(4, 7, (message,)))
+        assert doc["count"] == 1
+        assert doc["messages"] == [
+            {
+                "from": 9,
+                "kind": "echo",
+                "payload": [1, 2],  # sequences recurse into JSON arrays
+                "instance": None,
+            }
+        ]
+
+    def test_broadcast_dest_omitted(self):
+        doc = event_to_json(MessageSent(1, 5, "echo"))
+        assert "dest" not in doc  # None = broadcast
+        assert doc["payload"] is None  # payload always present
+
+
+class TestReaders:
+    def roundtrip(self, *events):
+        bus = EventBus()
+        buf = io.StringIO()
+        with bus.to_jsonl(buf):
+            for event in events:
+                bus.publish(event)
+        return buf.getvalue()
+
+    def test_read_jsonl_yields_all_docs(self):
+        text = self.roundtrip(RoundStarted(1), RoundStarted(2))
+        docs = list(read_jsonl(text.splitlines()))
+        assert len(docs) == 3  # header + 2
+
+    def test_load_protocol_events_filters_and_rehydrates(self):
+        text = self.roundtrip(
+            RoundStarted(1),
+            ProtocolEvent(1, 42, "accept", {"tag": "t"}),
+        )
+        events = load_protocol_events(text.splitlines())
+        assert events == [ProtocolEvent(1, 42, "accept", {"tag": "t"})]
+
+    def test_future_schema_version_rejected(self):
+        line = json.dumps({"topic": "schema", "v": SCHEMA_VERSION + 1})
+        with pytest.raises(ValueError):
+            list(read_jsonl([line]))

@@ -35,6 +35,19 @@ class TestByteMetrics:
             == run_consensus(True).metrics.bytes_total
         )
 
+    def test_summary_includes_bytes_when_measured(self):
+        summary = run_consensus(measure_bytes=True).metrics.summary()
+        assert summary["bytes_total"] > 0
+        assert summary["bytes_by_kind"]
+        assert (
+            sum(summary["bytes_by_kind"].values()) == summary["bytes_total"]
+        )
+
+    def test_summary_omits_bytes_when_not_measured(self):
+        summary = run_consensus(measure_bytes=False).metrics.summary()
+        assert "bytes_total" not in summary
+        assert "bytes_by_kind" not in summary
+
     def test_unencodable_payload_falls_back_to_repr(self):
         from repro.sim.inbox import Inbox
         from repro.sim.node import NodeApi, Protocol

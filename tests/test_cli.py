@@ -81,6 +81,31 @@ class TestCommands:
         assert "| f " in out
         assert "n>3f" in out
 
+    def test_run_events_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "run",
+                "consensus",
+                "--n",
+                "6",
+                "--f",
+                "1",
+                "--events",
+                str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"-> {path}" in out
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["topic"] == "schema"
+        topics = {doc["topic"] for doc in lines[1:]}
+        assert {"run-start", "round-start", "send", "deliver",
+                "protocol"} <= topics
+
     def test_record_and_verify_roundtrip(self, tmp_path, capsys):
         out = tmp_path / "run.jsonl"
         assert (
