@@ -37,24 +37,41 @@ The rule families:
   only through ``NodeApi.emit``; the observability plumbing
   (``EventBus``, ``Trace``, ``Metrics``, sinks) belongs to the
   runtimes (``repro.obs``, docs/observability.md).
+* **R6xx — whole-program taint** (phase two): the interprocedural
+  versions of the invariants above — global-knowledge taint into
+  ``core/`` (R601), float taint into quorum comparisons (R602), and
+  unordered-iteration escape analysis (R603, superseding R304's
+  syntactic ban).
+* **R7xx — async runtime**: stale check-then-act on engine-shared
+  state across ``await`` points (R701).
 """
 
 from __future__ import annotations
 
 from repro.lint.baseline import Baseline, fingerprint
 from repro.lint.diagnostics import Diagnostic, format_json, format_text
-from repro.lint.engine import FileContext, LintResult, Rule, run_paths
-from repro.lint.rules import all_rules, rules_by_code
+from repro.lint.engine import (
+    FileContext,
+    LintResult,
+    ProgramRule,
+    Rule,
+    run_paths,
+)
+from repro.lint.rules import all_program_rules, all_rules, rules_by_code
+from repro.lint.sarif import format_sarif
 
 __all__ = [
     "Baseline",
     "Diagnostic",
     "FileContext",
     "LintResult",
+    "ProgramRule",
     "Rule",
+    "all_program_rules",
     "all_rules",
     "fingerprint",
     "format_json",
+    "format_sarif",
     "format_text",
     "rules_by_code",
     "run_paths",

@@ -99,6 +99,20 @@ class Baseline:
         return baseline
 
     def write(self, path: Path) -> None:
+        # Entries are ordered by (path, rule, source line) rather than
+        # by fingerprint hash, so a regenerated baseline diffs cleanly
+        # against the committed one: neighbouring files stay neighbours.
+        ordered = dict(
+            sorted(
+                self.entries.items(),
+                key=lambda item: (
+                    str(item[1].get("path", "")),
+                    str(item[1].get("rule", "")),
+                    str(item[1].get("line", "")),
+                    item[0],
+                ),
+            )
+        )
         payload = {
             "version": BASELINE_VERSION,
             "comment": (
@@ -106,7 +120,7 @@ class Baseline:
                 "new code; fix or inline-suppress with justification. "
                 "Regenerate with: python -m repro.lint --write-baseline src"
             ),
-            "entries": dict(sorted(self.entries.items())),
+            "entries": ordered,
         }
         path.write_text(
             json.dumps(payload, indent=2, sort_keys=False) + "\n",

@@ -13,7 +13,8 @@ from pathlib import Path
 from repro.lint.baseline import Baseline
 from repro.lint.diagnostics import format_json, format_text
 from repro.lint.engine import run_paths
-from repro.lint.rules import all_rules
+from repro.lint.rules import all_program_rules, all_rules
+from repro.lint.sarif import format_sarif
 
 DEFAULT_BASELINE = "lint-baseline.json"
 
@@ -25,7 +26,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Statically enforce the paper's model invariants: the "
             "id-only model (R1xx), integer quorum math (R2xx), "
             "simulator determinism (R3xx), protocol hygiene (R4xx), "
-            "event-plane discipline (R5xx)."
+            "event-plane discipline (R5xx), and their whole-program "
+            "dataflow versions (R6xx taint, R7xx async)."
         ),
     )
     parser.add_argument(
@@ -36,7 +38,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -63,6 +65,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to run (default: all)",
     )
     parser.add_argument(
+        "--no-program",
+        action="store_true",
+        help=(
+            "skip the whole-program passes (R6xx/R7xx); per-file rules "
+            "only, including the R304 ban they normally supersede"
+        ),
+    )
+    parser.add_argument(
+        "--program-cache",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "persist per-module dataflow facts keyed by content hash, "
+            "so unchanged files skip extraction on the next run"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print every rule code with its invariant and exit",
@@ -70,25 +90,35 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _selected_rules(select: str):
+def _selected_rules(select: str, with_program: bool):
+    """Split a ``--select`` list into (file rules, program rules)."""
     rules = all_rules()
+    program = all_program_rules() if with_program else []
     if not select:
-        return rules
+        return rules, program
     wanted = {code.strip().upper() for code in select.split(",") if code}
     chosen = [rule for rule in rules if rule.code in wanted]
-    unknown = wanted - {rule.code for rule in chosen}
+    chosen_program = [rule for rule in program if rule.code in wanted]
+    known = {rule.code for rule in chosen} | {
+        rule.code for rule in chosen_program
+    }
+    if not with_program:
+        known |= {
+            rule.code for rule in all_program_rules()
+        }  # selecting R6xx with --no-program is not an unknown code
+    unknown = wanted - known
     if unknown:
         raise SystemExit(
             f"unknown rule code(s): {', '.join(sorted(unknown))}"
         )
-    return chosen
+    return chosen, chosen_program
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.list_rules:
-        for rule in all_rules():
+        for rule in [*all_rules(), *all_program_rules()]:
             print(f"{rule.code}  {rule.name}")
             print(f"      {rule.description}")
         return 0
@@ -103,11 +133,24 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     baseline_path = args.baseline or Path(DEFAULT_BASELINE)
-    rules = _selected_rules(args.select)
+    rules, program_rules = _selected_rules(
+        args.select, with_program=not args.no_program
+    )
+    cache = None
+    if args.program_cache is not None and program_rules:
+        from repro.lint.program.cache import ProgramCache
+
+        cache = ProgramCache(args.program_cache)
 
     if args.write_baseline:
         # Collect *everything* (no baseline filtering), then absorb it.
-        raw = run_paths(paths, rules, baseline=Baseline())
+        raw = run_paths(
+            paths,
+            rules,
+            baseline=Baseline(),
+            program_rules=program_rules,
+            cache=cache,
+        )
         Baseline.from_diagnostics(raw.diagnostics).write(baseline_path)
         print(
             f"wrote {len(raw.diagnostics)} finding(s) to {baseline_path}"
@@ -119,9 +162,24 @@ def main(argv: list[str] | None = None) -> int:
         if args.no_baseline
         else Baseline.load(baseline_path)
     )
-    result = run_paths(paths, rules, baseline=baseline)
-    formatter = format_json if args.format == "json" else format_text
-    print(formatter(result.diagnostics, result.summary))
+    result = run_paths(
+        paths,
+        rules,
+        baseline=baseline,
+        program_rules=program_rules,
+        cache=cache,
+    )
+    if args.format == "sarif":
+        print(
+            format_sarif(
+                result.diagnostics,
+                result.summary,
+                rules=[*rules, *program_rules],
+            )
+        )
+    else:
+        formatter = format_json if args.format == "json" else format_text
+        print(formatter(result.diagnostics, result.summary))
     return 0 if result.ok else 1
 
 

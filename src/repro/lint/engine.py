@@ -112,6 +112,11 @@ class Rule(ABC):
     name: str = ""
     #: One-line statement of the invariant.
     description: str = ""
+    #: Code of a program rule that subsumes this one.  When that rule is
+    #: active in the same run, this file rule is skipped — the program
+    #: pass reports the same hazard with real escape reasoning instead
+    #: of a syntactic ban.
+    superseded_by: str = ""
 
     def applies_to(self, ctx: FileContext) -> bool:
         """Whether this rule runs on *ctx* at all (default: everywhere)."""
@@ -120,6 +125,25 @@ class Rule(ABC):
     @abstractmethod
     def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
         """Yield findings for one file."""
+
+
+class ProgramRule(ABC):
+    """An invariant checked against the whole-program model (phase two).
+
+    Program rules see every file at once through a
+    :class:`repro.lint.program.ProgramModel` and may follow flows
+    across modules; their findings are still attributed to one file and
+    filtered through that file's inline suppressions and the baseline,
+    exactly like file-rule findings.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    @abstractmethod
+    def check_program(self, model) -> Iterable[Diagnostic]:
+        """Yield findings for the whole program."""
 
 
 @dataclass(slots=True)
@@ -183,15 +207,51 @@ def load_context(path: Path) -> FileContext | Diagnostic:
     )
 
 
+def _record(
+    result: LintResult,
+    ctx: FileContext,
+    baseline: Baseline,
+    diag: Diagnostic,
+) -> None:
+    """Route one finding through suppressions and the baseline."""
+    if is_suppressed(ctx.suppressions, diag.code, diag.line):
+        result.summary.suppressed += 1
+    elif baseline.absorb(diag):
+        result.summary.baselined += 1
+    else:
+        result.diagnostics.append(diag)
+        result.summary.findings += 1
+        result.summary.by_code[diag.code] = (
+            result.summary.by_code.get(diag.code, 0) + 1
+        )
+
+
 def run_paths(
     paths: Iterable[Path],
     rules: Iterable[Rule],
     baseline: Baseline | None = None,
+    program_rules: Iterable[ProgramRule] = (),
+    cache=None,
 ) -> LintResult:
-    """Lint *paths* with *rules*, filtering suppressed/baselined findings."""
+    """Lint *paths*, filtering suppressed/baselined findings.
+
+    Phase one parses every file and runs the per-file *rules*; phase
+    two links all parsed files into one program model and runs the
+    *program_rules* against it.  A file rule whose ``superseded_by``
+    names an active program rule is skipped — its program-level
+    replacement owns the invariant for this run.
+    """
     rules = list(rules)
+    program_rules = list(program_rules)
+    program_codes = {rule.code for rule in program_rules}
+    active_rules = [
+        rule
+        for rule in rules
+        if rule.superseded_by not in program_codes or not rule.superseded_by
+    ]
     baseline = baseline or Baseline()
     result = LintResult()
+    contexts: list[FileContext] = []
     for path in discover_files(paths):
         result.summary.files += 1
         ctx = load_context(path)
@@ -199,6 +259,7 @@ def run_paths(
             result.diagnostics.append(ctx)
             result.summary.findings += 1
             continue
+        contexts.append(ctx)
         for sup in ctx.suppressions:
             # Blanket opt-outs must say why, or they get reported
             # themselves — suppressions stay visible in review.
@@ -220,19 +281,26 @@ def run_paths(
                     result.summary.by_code["R001"] = (
                         result.summary.by_code.get("R001", 0) + 1
                     )
-        for rule in rules:
+        for rule in active_rules:
             if not rule.applies_to(ctx):
                 continue
             for diag in rule.check(ctx):
-                if is_suppressed(ctx.suppressions, diag.code, diag.line):
-                    result.summary.suppressed += 1
-                elif baseline.absorb(diag):
-                    result.summary.baselined += 1
-                else:
+                _record(result, ctx, baseline, diag)
+    if program_rules and contexts:
+        from repro.lint.program import build_program
+
+        model = build_program(contexts, cache=cache)
+        by_display = {ctx.display_path: ctx for ctx in contexts}
+        for rule in program_rules:
+            for diag in rule.check_program(model):
+                ctx = by_display.get(diag.path)
+                if ctx is None:
                     result.diagnostics.append(diag)
                     result.summary.findings += 1
                     result.summary.by_code[diag.code] = (
                         result.summary.by_code.get(diag.code, 0) + 1
                     )
+                else:
+                    _record(result, ctx, baseline, diag)
     result.diagnostics.sort(key=Diagnostic.sort_key)
     return result

@@ -1,0 +1,65 @@
+"""Content-hash cache for per-module dataflow facts.
+
+Facts are purely local to a module (term graphs with *unresolved* call
+references), so they are invalidated by that module's content hash
+alone — the interprocedural fixpoint is recomputed every run from
+whatever mix of cached and fresh facts is available.  That keeps the
+cache honest: editing one file re-extracts one file, and cross-module
+effects still propagate because resolution happens after loading.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.lint.program.dataflow import FunctionFacts
+
+_FORMAT_VERSION = 1
+
+
+def content_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class ProgramCache:
+    """Maps ``path -> (content hash, serialized function facts)``."""
+
+    def __init__(self, path: Path | None = None):
+        self.path = path
+        self._entries: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        if path is not None and path.exists():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                data = {}
+            if data.get("version") == _FORMAT_VERSION:
+                self._entries = data.get("modules", {})
+
+    def get(self, path_key: str, digest: str) -> list[FunctionFacts] | None:
+        entry = self._entries.get(path_key)
+        if entry is None or entry.get("hash") != digest:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [FunctionFacts.from_json(item) for item in entry["facts"]]
+
+    def put(
+        self, path_key: str, digest: str, facts: list[FunctionFacts]
+    ) -> None:
+        self._entries[path_key] = {
+            "hash": digest,
+            "facts": [item.to_json() for item in facts],
+        }
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        payload = {"version": _FORMAT_VERSION, "modules": self._entries}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )

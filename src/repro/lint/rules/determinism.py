@@ -167,6 +167,9 @@ class UnorderedIteration(Rule):
         "collections where order can pick the winner; sort first or "
         "supply a total-order key"
     )
+    #: R603's escape analysis reports the same hazard with flow
+    #: reasoning; when it runs, this syntactic ban stands down.
+    superseded_by = "R603"
 
     UNORDERED_CALLS = frozenset({"set", "frozenset"})
     #: Methods returning genuinely unordered views.  Dict views are

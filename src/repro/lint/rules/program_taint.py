@@ -1,0 +1,224 @@
+"""R6xx (taint) — interprocedural id-only and quorum-math invariants.
+
+These are the whole-program versions of R1xx and R2xx: instead of
+spotting a forbidden *expression*, they follow the forbidden *value*
+through any chain of calls, aliases, and containers the dataflow
+extractor recorded, and report where it crosses into protocol code.
+
+R601 closes the helper-function hole in the id-only model (paper §3):
+a membership set or population parameter laundered through
+``sim``/``net``/``adversary`` helpers is flagged at the boundary where
+it enters ``core/`` — either as a call whose non-core callee returns
+global knowledge, or as a tainted argument handed to a core function.
+
+R602 generalizes the integer-quorum rules: any float-producing
+expression (division, ``statistics``, float literals, ``float``-typed
+parameters) that *flows* into a count-like threshold comparison in
+``core/``/``baselines/`` is flagged, even when the float is born
+several calls away.  Syntactic floats lexically inside the comparison
+are left to R201/R203 so one defect is reported once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import ProgramRule
+
+PROTOCOL_LAYERS = ("core",)
+QUORUM_LAYERS = ("core", "baselines")
+
+
+def _in_layers(facts, layers: tuple[str, ...]) -> bool:
+    return bool(facts.layer) and facts.layer[0] in layers
+
+
+def _diag(model, facts, lineno: int, col: int, code: str,
+          message: str, hint: str = "") -> Diagnostic:
+    entry = model.entry_for(facts)
+    ctx = entry.ctx
+    return Diagnostic(
+        path=ctx.display_path,
+        line=lineno,
+        col=col + 1,
+        code=code,
+        message=message,
+        source_line=ctx.source_line(lineno).strip(),
+        hint=hint,
+    )
+
+
+class GlobalKnowledgeTaint(ProgramRule):
+    """R601: global membership knowledge must not flow into ``core/``.
+
+    Two boundary crossings are reported: a call *inside* core whose
+    resolved non-core callee returns membership taint, and a call
+    *outside* core that passes a membership-tainted argument to a core
+    function.  Syntactic reads inside core itself stay R102/R103's
+    findings.  ``baselines/`` is exempt by design — the classical
+    known-``n`` protocols exist to be compared against.
+    """
+
+    code = "R601"
+    name = "global-knowledge-taint"
+    description = (
+        "membership sets and population parameters must not reach core/ "
+        "through any chain of calls, aliases, or containers (paper §3)"
+    )
+
+    def check_program(self, model) -> Iterable[Diagnostic]:
+        analysis = model.taint("membership")
+        for facts in model.functions.values():
+            in_core = _in_layers(facts, PROTOCOL_LAYERS)
+            for call in facts.calls:
+                target = analysis.resolve(facts, call.ref)
+                if target is None:
+                    continue
+                target_facts = model.functions.get(target.qualname)
+                target_in_core = target_facts is not None and _in_layers(
+                    target_facts, PROTOCOL_LAYERS
+                )
+                summary = analysis.summaries.get(target.qualname)
+                if (
+                    in_core
+                    and not target_in_core
+                    and summary is not None
+                    and summary.ret.intrinsic
+                ):
+                    yield _diag(
+                        model,
+                        facts,
+                        call.lineno,
+                        call.col,
+                        self.code,
+                        f"'{_callee_name(call)}()' returns global "
+                        "membership knowledge into core protocol code",
+                        hint=(
+                            "core/ is id-only: nodes learn peers from "
+                            "received messages, never from the runtime"
+                        ),
+                    )
+                    continue
+                if target_in_core and not in_core:
+                    for param_index, terms in analysis.arg_param_map(
+                        call, target
+                    ):
+                        value = analysis.evaluate(facts, terms)
+                        if value.intrinsic:
+                            param = target.params[param_index]
+                            yield _diag(
+                                model,
+                                facts,
+                                call.lineno,
+                                call.col,
+                                self.code,
+                                "membership-tainted value passed into "
+                                f"core '{target.local_name}()' "
+                                f"(parameter '{param}')",
+                                hint=(
+                                    "hand core code message-derived ids "
+                                    "only, not runtime membership"
+                                ),
+                            )
+                            break
+
+
+class FloatQuorumTaint(ProgramRule):
+    """R602: float-tainted values must not reach quorum comparisons.
+
+    Reported at the comparison when the float arrives through dataflow
+    (a name, a call chain, a ``float``-typed parameter), and at the
+    call site when a caller feeds a float into a parameter that a core
+    function compares against a count.  Count-likeness (``len()``,
+    ``count``/``tally``/``quorum``-style names) keeps legitimate
+    real-valued math — approximate agreement — out of scope.
+    """
+
+    code = "R602"
+    name = "float-quorum-taint"
+    description = (
+        "quorum threshold comparisons must stay in exact integer "
+        "arithmetic; float taint must not reach them through any call "
+        "chain (use 3 * count >= n_v style tests)"
+    )
+
+    def check_program(self, model) -> Iterable[Diagnostic]:
+        analysis = model.taint("float")
+        seen: set[tuple[str, int, int]] = set()
+        for facts in model.functions.values():
+            if _in_layers(facts, QUORUM_LAYERS):
+                for compare in facts.compares:
+                    if not compare.countlike:
+                        continue
+                    value = analysis.evaluate(facts, compare.terms)
+                    if not value.intrinsic:
+                        continue
+                    key = (facts.module, compare.lineno, compare.col)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield _diag(
+                        model,
+                        facts,
+                        compare.lineno,
+                        compare.col,
+                        self.code,
+                        "count-like comparison receives a float-tainted "
+                        "value through dataflow",
+                        hint=(
+                            "keep quorum tests exact: "
+                            "3 * count >= n_v, never count >= n_v / 3"
+                        ),
+                    )
+            for call in facts.calls:
+                target = analysis.resolve(facts, call.ref)
+                if target is None:
+                    continue
+                target_facts = model.functions.get(target.qualname)
+                if target_facts is None or not _in_layers(
+                    target_facts, QUORUM_LAYERS
+                ):
+                    continue
+                summary = analysis.summaries.get(target.qualname)
+                if summary is None or not summary.sink_params:
+                    continue
+                for param_index, terms in analysis.arg_param_map(
+                    call, target
+                ):
+                    if param_index not in summary.sink_params:
+                        continue
+                    value = analysis.evaluate(facts, terms)
+                    if not value.intrinsic:
+                        continue
+                    key = (facts.module, call.lineno, call.col)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    param = target.params[param_index]
+                    yield _diag(
+                        model,
+                        facts,
+                        call.lineno,
+                        call.col,
+                        self.code,
+                        f"float-tainted argument for '{param}' reaches a "
+                        f"quorum comparison inside "
+                        f"'{target.local_name}()'",
+                        hint=(
+                            "pass exact integers; rewrite the threshold "
+                            "as 3 * count >= n_v"
+                        ),
+                    )
+                    break
+
+
+def _callee_name(call) -> str:
+    ref = call.ref
+    if ref[0] == "local":
+        return ref[1]
+    if ref[0] == "method":
+        return f"{ref[1]}.{ref[2]}"
+    if ref[0] == "attr":
+        return f"{ref[1]}.{ref[2]}"
+    return ref[-1] or "<call>"

@@ -1,0 +1,50 @@
+# Seeded R701 positives: check-then-act splits across await points.
+# Shared-state detection is cross-method — 'queue' only counts as
+# mutable because note() appends to it elsewhere in the class.
+
+
+class Pump:
+    def __init__(self):
+        self.busy = False
+        self.queue = []
+        self.round = 0
+
+    def note(self, item):
+        self.queue.append(item)
+
+    async def acquire(self):
+        # R701: 'busy' checked before the await, written after it.
+        if not self.busy:
+            await self.pause()
+            self.busy = True
+
+    async def drain(self):
+        # R701: stale snapshot of shared 'queue' used after the await.
+        pending = self.queue
+        await self.pause()
+        for item in pending:
+            self.note(item)
+
+    async def advance(self):
+        # R701: read-modify-write of 'round' split across the await.
+        current = self.round
+        await self.pause()
+        self.round = current + 1
+
+    async def safe(self):
+        # Clean: the attribute is re-validated after resuming.
+        if not self.busy:
+            await self.pause()
+            if not self.busy:
+                self.busy = True
+
+    async def local_only(self, items):
+        # Clean: nothing shared crosses the await.
+        total = 0
+        for item in items:
+            total += item
+        await self.pause()
+        return total
+
+    async def pause(self):
+        return None

@@ -1,0 +1,20 @@
+# Runtime-layer code is allowed the global view and real-valued math —
+# none of this may leak findings as long as it stays on this side.
+
+
+def population(net):
+    return len(net.node_ids)
+
+
+def drop_rate(delivered, offered):
+    # Float math is fine here: it never reaches a core comparison.
+    if offered == 0:
+        return 0.0
+    return delivered / offered
+
+
+def fan_out(net, payload):
+    # Iteration order over the global set is the runtime's business;
+    # R603 only polices core/ and baselines/.
+    for node in sorted(net.node_ids):
+        node.deliver(payload)

@@ -1,0 +1,11 @@
+# A helper that carries its argument to an order-sensitive sink: its
+# second parameter becomes a sink parameter in the fixpoint.
+
+
+def stash(bucket, item):
+    bucket.append(item)
+
+
+def stash_deep(bucket, item):
+    # One more hop on the sink side.
+    stash(bucket, item)

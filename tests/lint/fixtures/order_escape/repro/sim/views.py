@@ -1,0 +1,11 @@
+# Unordered-view producers: the unordered-ness of these return values
+# must survive the call boundary into core/.
+
+
+def sender_view(inbox):
+    return frozenset(inbox.raw())
+
+
+def as_iter(view):
+    # iter() preserves the underlying (unordered) order.
+    return iter(view)

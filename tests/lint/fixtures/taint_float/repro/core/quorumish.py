@@ -1,0 +1,36 @@
+# Seeded R602 positives: float taint reaching count-like comparisons
+# through call chains R201/R203 cannot see.
+from repro.sim.mathutil import passthrough, scaled, third
+
+
+def meets(count, limit):
+    # The sink: 'limit' becomes a sink parameter because it is compared
+    # against a count here.
+    return count >= limit
+
+
+def check_call_borne(count, total):
+    # R602: the float is born one call away (total / 3 in sim).
+    return count >= third(total)
+
+
+def check_two_hops(count, total):
+    # R602: float() -> passthrough() -> local name -> comparison.
+    limit = passthrough(scaled(total))
+    return count >= limit
+
+
+def check_sink_param(count, total):
+    # R602: reported at the call site feeding the sink parameter.
+    return meets(count, third(total))
+
+
+def clean_exact(count, n_v):
+    # Clean: the sanctioned integer form.
+    return 3 * count >= n_v
+
+
+def clean_value_math(value, midpoint):
+    # Clean: real-valued math on non-count operands (approximate
+    # agreement style) is out of scope by the count-like guard.
+    return value >= midpoint

@@ -1,0 +1,14 @@
+# Float producers living outside the protocol layer.  R2xx never sees
+# them; R602 follows the values to the comparisons that matter.
+
+
+def third(total):
+    return total / 3
+
+
+def scaled(total):
+    return float(total)
+
+
+def passthrough(x):
+    return x

@@ -1,0 +1,27 @@
+# Seeded R601 positives: global membership knowledge entering core/
+# through call chains, never through a syntactic read R102 could see.
+from repro.sim.exports import exported_roster
+from repro.sim.surface import roster_frozen
+
+
+def learn(api):
+    # R601: two hops (re-export -> alias -> attribute read).
+    peers = exported_roster(api)
+    return peers
+
+
+def snapshot(api):
+    # R601: container hop (frozenset of the roster).
+    return roster_frozen(api)
+
+
+def tally(count, voters):
+    # 'voters' deliberately avoids the R103 population-parameter names:
+    # only the *flow* gives this away, which is R601's job.
+    return count >= len(voters)
+
+
+def heard_enough(inbox, n_v):
+    # Clean: message-derived ids only, integer quorum math.
+    count = len(sorted(inbox.senders("ECHO")))
+    return 3 * count >= n_v

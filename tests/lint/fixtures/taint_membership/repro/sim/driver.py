@@ -1,0 +1,13 @@
+# The third direction: runtime code handing the global view to core.
+from repro.core.proto import tally
+from repro.sim.surface import roster
+
+
+def kick(net, count):
+    # R601: membership-tainted argument into a core function.
+    return tally(count, roster(net))
+
+
+def kick_clean(count, n_v):
+    # Clean: exact integers only.
+    return tally(count, [n_v])

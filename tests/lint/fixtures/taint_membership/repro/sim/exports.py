@@ -1,0 +1,4 @@
+# Re-export indirection: resolution must follow this chain.
+from repro.sim.surface import roster_alias as exported_roster
+
+__all__ = ["exported_roster"]

@@ -1,0 +1,18 @@
+# Membership sources in the runtime layer.  Reading them HERE is legal
+# (sim code owns the global view); R601 fires where the values cross
+# into core/.
+
+
+def roster(net):
+    return net.node_ids
+
+
+def roster_alias(net):
+    # One extra hop through a local alias.
+    peers = roster(net)
+    return peers
+
+
+def roster_frozen(net):
+    # Container hop: the frozenset still carries the knowledge.
+    return frozenset(roster(net))

@@ -10,7 +10,12 @@ from __future__ import annotations
 
 import json
 
-from repro.lint import Diagnostic, all_rules, run_paths
+from repro.lint import (
+    Diagnostic,
+    all_program_rules,
+    all_rules,
+    run_paths,
+)
 from repro.lint.baseline import Baseline
 from repro.lint.engine import discover_files, load_context
 from repro.lint.suppressions import parse_suppressions
@@ -22,9 +27,24 @@ BASELINE = REPO_ROOT / "lint-baseline.json"
 
 
 def test_src_is_clean_against_committed_baseline():
-    result = run_paths([SRC], all_rules(), baseline=Baseline.load(BASELINE))
+    # Program passes on: the acceptance bar is zero findings outside
+    # the committed baseline with R6xx/R7xx enabled by default.
+    result = run_paths(
+        [SRC],
+        all_rules(),
+        baseline=Baseline.load(BASELINE),
+        program_rules=all_program_rules(),
+    )
     rendered = "\n".join(d.render() for d in result.diagnostics)
     assert result.ok, f"repro.lint found new violations:\n{rendered}"
+
+
+def test_src_is_clean_without_program_passes_too():
+    # --no-program must stay usable: the per-file rules (including the
+    # superseded R304 ban with its inline suppressions) are still green.
+    result = run_paths([SRC], all_rules(), baseline=Baseline.load(BASELINE))
+    rendered = "\n".join(d.render() for d in result.diagnostics)
+    assert result.ok, f"per-file rules found new violations:\n{rendered}"
 
 
 def test_cli_exits_zero_on_repo(lint_cli):
@@ -42,7 +62,12 @@ def test_baseline_only_grandfathers_known_population_baselines():
 def test_baseline_is_not_stale():
     # Every allowance in the committed baseline must still match a real
     # finding; stale entries would quietly grandfather future bugs.
-    raw = run_paths([SRC], all_rules(), baseline=Baseline())
+    raw = run_paths(
+        [SRC],
+        all_rules(),
+        baseline=Baseline(),
+        program_rules=all_program_rules(),
+    )
     fresh = Baseline.from_diagnostics(raw.diagnostics)
     committed = json.loads(BASELINE.read_text(encoding="utf-8"))["entries"]
     current = {

@@ -121,6 +121,8 @@ class TestUnseededRandomCall:
 
 
 class TestUnorderedIteration:
+    # ``program=False`` pins R304 itself; when the program passes run,
+    # R603's escape analysis supersedes it (see test_rule_program_order).
     def test_iterating_fresh_set_flagged(self, lint_tree):
         result = lint_tree(
             {
@@ -129,7 +131,8 @@ class TestUnorderedIteration:
                     for sender in set(m.sender for m in inbox):
                         return sender
                 """
-            }
+            },
+            program=False,
         )
         assert codes(result) == ["R304"]
 
@@ -140,9 +143,22 @@ class TestUnorderedIteration:
                 def leader(inbox):
                     return max(inbox.senders())
                 """
-            }
+            },
+            program=False,
         )
         assert codes(result) == ["R304"]
+
+    def test_superseded_by_program_pass(self, lint_tree):
+        # Same defects, reported by R603 once the program passes run.
+        result = lint_tree(
+            {
+                "repro/core/bad.py": """\
+                def leader(inbox):
+                    return max(inbox.senders())
+                """
+            }
+        )
+        assert codes(result) == ["R603"]
 
     def test_max_with_total_order_key_passes(self, lint_tree):
         result = lint_tree(
