@@ -9,15 +9,21 @@ recipients of a round now alias one shared ``InboxIndex``, so per-kind
 buckets and distinct-sender tallies are built once per round, not once
 per node.
 
+On top of both, the columnar round plane stores a round's broadcasts as
+interned-payload columns; inbox indexes and quorum tallies materialize
+lazily from them, which is what lets the protocol workloads run at
+n ∈ {1000, 5000, 10000}.
+
 Three workloads:
 
 * ``all-broadcast`` — one broadcast per node per round at
   n ∈ {50, 200, 800}: pure engine overhead, no inbox queries;
 * ``consensus`` — a full all-correct :class:`EarlyConsensus` run with
-  split 0/1 inputs at n ∈ {50, 200}: the quorum-counting path the
-  shared index (and, one layer up, the quorum-tally plane) amortizes;
+  split 0/1 inputs at n up to 10000: the quorum-counting path the
+  shared index, the quorum-tally plane, and the columnar round plane
+  amortize;
 * ``parallel-consensus`` — a full all-correct :class:`ParallelConsensus`
-  run over a few dozen instances at n ∈ {50, 200}: per-instance vote
+  run over a few dozen instances at n up to 10000: per-instance vote
   bases derived once per round on the shared index, counted by every
   node.
 
@@ -25,12 +31,16 @@ Each row reports rounds/sec and deliveries/sec (wall clock), staged
 entries vs deliveries per round (the allocation footprint vs the
 per-recipient engine), tracemalloc peak, and the engine's per-phase
 time split (deliver / correct / adversary / stage) from ``Metrics``.
+Tracemalloc roughly halves engine throughput, so rows at n >= 1000 run
+with it off by default (``peak_traced_kib`` is null there); pass
+``--no-tracemalloc`` to disable it everywhere.
 
 Results go to ``results/BENCH_engine.json`` (and a table in
 ``results/BENCH_engine.md``).  CI runs ``python benchmarks/bench_engine.py
 --sizes 50 --check results/BENCH_engine_baseline.json`` as a non-gating
-perf smoke over both workloads: it fails only on a >2× rounds/sec
-regression against the committed baseline.
+perf smoke over all three workloads: it fails only on a
+>``PERF_SMOKE_MAX_SLOWDOWN``× rounds/sec regression against the
+committed baseline.
 """
 
 from __future__ import annotations
@@ -48,13 +58,17 @@ from repro.sim.network import SyncNetwork
 from repro.sim.node import Inbox, NodeApi, Protocol
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-DEFAULT_SIZES = (50, 200, 800)
+DEFAULT_SIZES = (50, 200, 800, 1000, 5000, 10000)
 #: Round budget per population size: enough rounds to dominate setup
 #: cost, small enough that n=800 stays in CI-smoke territory.
 ROUNDS_FOR = {50: 60, 200: 30, 800: 6}
-#: The consensus workload is O(n) rounds in the worst case; cap the
-#: population so the smoke stays a smoke.
-CONSENSUS_MAX_N = 200
+#: The all-broadcast drain is pure engine overhead; larger sizes add no
+#: information beyond what the protocol workloads measure.
+ENGINE_MAX_N = 800
+#: The protocol workloads decide in a fixed handful of phases for
+#: all-correct inputs, so population scales to the columnar plane's
+#: target range.
+CONSENSUS_MAX_N = 10000
 #: Generous round budget — the split-input all-correct run decides in a
 #: handful of phases.
 CONSENSUS_ROUND_LIMIT = 200
@@ -62,8 +76,18 @@ CONSENSUS_ROUND_LIMIT = 200
 #: per-instance work (vote bases, rotor cursors, repr-sorted execution
 #: order) dominates, small enough for the CI smoke.
 PARALLEL_INSTANCES = 24
-PARALLEL_MAX_N = 200
+PARALLEL_MAX_N = 10000
 PARALLEL_ROUND_LIMIT = 400
+#: Tracemalloc roughly halves throughput and its peak is dominated by
+#: the (size-independent) interned columns anyway; rows at or above this
+#: population run untraced and report ``peak_traced_kib: null``.
+TRACEMALLOC_MAX_N = 800
+#: CI perf-smoke tolerance: a run must stay within this factor of the
+#: committed baseline's rounds/sec at every shared (workload, n) pair.
+#: 2x absorbs shared-runner noise while still catching real order-of-
+#: magnitude regressions; re-baseline with ``--baseline-out`` whenever a
+#: deliberate engine change moves the numbers.
+PERF_SMOKE_MAX_SLOWDOWN = 2.0
 
 
 class AllBroadcast(Protocol):
@@ -73,13 +97,17 @@ class AllBroadcast(Protocol):
         api.broadcast("beat", api.round % 7)
 
 
-def _run_and_measure(net: SyncNetwork, run) -> dict:
-    tracemalloc.start()
+def _run_and_measure(net: SyncNetwork, run, trace: bool = True) -> dict:
+    if trace:
+        tracemalloc.start()
     start = time.perf_counter()
     run(net)
     elapsed = time.perf_counter() - start
-    _current, peak = tracemalloc.get_traced_memory()
-    tracemalloc.stop()
+    if trace:
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    else:
+        peak = None
     metrics = net.metrics
     staged_per_round = metrics.staged_total / metrics.rounds
     deliveries_per_round = metrics.deliveries_total / metrics.rounds
@@ -94,7 +122,7 @@ def _run_and_measure(net: SyncNetwork, run) -> dict:
         "alloc_reduction_vs_per_recipient": round(
             deliveries_per_round / staged_per_round, 1
         ),
-        "peak_traced_kib": round(peak / 1024),
+        "peak_traced_kib": None if peak is None else round(peak / 1024),
         "engine_time_by_phase": {
             phase: round(seconds, 4)
             for phase, seconds in sorted(
@@ -104,18 +132,27 @@ def _run_and_measure(net: SyncNetwork, run) -> dict:
     }
 
 
-def measure_engine(n: int, rounds: int | None = None, seed: int = 1) -> dict:
+def _trace_for(n: int, tracing: bool) -> bool:
+    """Tracemalloc policy: off when disabled or the population is large."""
+    return tracing and n <= TRACEMALLOC_MAX_N
+
+
+def measure_engine(
+    n: int, rounds: int | None = None, seed: int = 1, tracing: bool = True
+) -> dict:
     rounds = rounds or ROUNDS_FOR.get(n, 30)
     net = SyncNetwork(seed=seed, clock=time.perf_counter)
     for index in range(n):
         net.add_correct(1000 + index, AllBroadcast())
     row = _run_and_measure(
-        net, lambda network: network.run(rounds, until_all_halted=False)
+        net,
+        lambda network: network.run(rounds, until_all_halted=False),
+        trace=_trace_for(n, tracing),
     )
     return {"n": n, **row}
 
 
-def measure_consensus(n: int, seed: int = 1) -> dict:
+def measure_consensus(n: int, seed: int = 1, tracing: bool = True) -> dict:
     """A full all-correct EarlyConsensus run with split 0/1 inputs.
 
     Unlike the all-broadcast drain, every node here *queries* its inbox
@@ -127,14 +164,16 @@ def measure_consensus(n: int, seed: int = 1) -> dict:
     for index in range(n):
         net.add_correct(1000 + index, EarlyConsensus(index % 2))
     row = _run_and_measure(
-        net, lambda network: network.run(CONSENSUS_ROUND_LIMIT)
+        net,
+        lambda network: network.run(CONSENSUS_ROUND_LIMIT),
+        trace=_trace_for(n, tracing),
     )
     outputs = set(net.outputs().values())
     assert len(outputs) == 1, "consensus workload failed to agree"
     return {"n": n, "decision": outputs.pop(), **row}
 
 
-def measure_parallel(n: int, seed: int = 1) -> dict:
+def measure_parallel(n: int, seed: int = 1, tracing: bool = True) -> dict:
     """A full all-correct ParallelConsensus run over a few dozen ids.
 
     Every node submits the same instance ids in the same round (the
@@ -151,7 +190,9 @@ def measure_parallel(n: int, seed: int = 1) -> dict:
         }
         net.add_correct(1000 + index, ParallelConsensus(inputs))
     row = _run_and_measure(
-        net, lambda network: network.run(PARALLEL_ROUND_LIMIT)
+        net,
+        lambda network: network.run(PARALLEL_ROUND_LIMIT),
+        trace=_trace_for(n, tracing),
     )
     outputs = set(net.outputs().values())
     assert len(outputs) == 1, "parallel-consensus workload failed to agree"
@@ -163,29 +204,30 @@ def measure_parallel(n: int, seed: int = 1) -> dict:
     }
 
 
-def build_results(sizes=DEFAULT_SIZES) -> dict:
+#: workload name -> (measure function, size cap).
+WORKLOADS = {
+    "all-broadcast": (measure_engine, ENGINE_MAX_N),
+    "consensus": (measure_consensus, CONSENSUS_MAX_N),
+    "parallel-consensus": (measure_parallel, PARALLEL_MAX_N),
+}
+
+
+def build_results(
+    sizes=DEFAULT_SIZES,
+    tracing: bool = True,
+    workloads: tuple[str, ...] = tuple(WORKLOADS),
+) -> dict:
     return {
         "workloads": [
             {
-                "workload": "all-broadcast",
-                "results": [measure_engine(n) for n in sizes],
-            },
-            {
-                "workload": "consensus",
+                "workload": name,
                 "results": [
-                    measure_consensus(n)
+                    WORKLOADS[name][0](n, tracing=tracing)
                     for n in sizes
-                    if n <= CONSENSUS_MAX_N
+                    if n <= WORKLOADS[name][1]
                 ],
-            },
-            {
-                "workload": "parallel-consensus",
-                "results": [
-                    measure_parallel(n)
-                    for n in sizes
-                    if n <= PARALLEL_MAX_N
-                ],
-            },
+            }
+            for name in workloads
         ],
     }
 
@@ -207,7 +249,11 @@ def write_outputs(payload: dict, out: pathlib.Path) -> None:
                 "staged/round": row["staged_entries_per_round"],
                 "deliv/round": row["deliveries_per_round"],
                 "alloc reduction": f"{row['alloc_reduction_vs_per_recipient']}x",
-                "peak KiB": row["peak_traced_kib"],
+                "peak KiB": (
+                    "-"
+                    if row["peak_traced_kib"] is None
+                    else row["peak_traced_kib"]
+                ),
             }
             for entry in payload["workloads"]
             for row in entry["results"]
@@ -236,8 +282,8 @@ def baseline_subset(payload: dict, n: int = 50) -> dict:
 
 
 def check_against_baseline(payload: dict, baseline_path: pathlib.Path) -> int:
-    """Exit status 1 on a >2x rounds/sec regression at any shared
-    (workload, n) pair."""
+    """Exit status 1 on a >``PERF_SMOKE_MAX_SLOWDOWN``x rounds/sec
+    regression at any shared (workload, n) pair."""
     baseline = json.loads(baseline_path.read_text())
     base_by_key = {
         (entry["workload"], row["n"]): row
@@ -251,13 +297,14 @@ def check_against_baseline(payload: dict, baseline_path: pathlib.Path) -> int:
             if base is None:
                 continue
             ratio = base["rounds_per_sec"] / row["rounds_per_sec"]
-            verdict = "ok" if ratio <= 2.0 else "REGRESSION"
+            ok = ratio <= PERF_SMOKE_MAX_SLOWDOWN
+            verdict = "ok" if ok else "REGRESSION"
             print(
                 f"{entry['workload']} n={row['n']}: "
                 f"{row['rounds_per_sec']} rounds/s vs baseline "
                 f"{base['rounds_per_sec']} (x{ratio:.2f} slower) {verdict}"
             )
-            if ratio > 2.0:
+            if not ok:
                 status = 1
     return status
 
@@ -312,8 +359,25 @@ def main(argv=None) -> int:
         help="also write this run's n=50 rows as a fresh CI-smoke "
         "baseline (keeps baseline and results from one machine/run)",
     )
+    parser.add_argument(
+        "--no-tracemalloc",
+        action="store_true",
+        help="disable tracemalloc for every row (peak_traced_kib is "
+        "null); rows at n >= %d always run untraced" % (TRACEMALLOC_MAX_N + 1),
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=tuple(WORKLOADS),
+        default=tuple(WORKLOADS),
+        help="restrict to a subset of workloads (default: all)",
+    )
     args = parser.parse_args(argv)
-    payload = build_results(sizes=tuple(args.sizes))
+    payload = build_results(
+        sizes=tuple(args.sizes),
+        tracing=not args.no_tracemalloc,
+        workloads=tuple(args.workloads),
+    )
     write_outputs(payload, args.out)
     if args.baseline_out is not None:
         args.baseline_out.write_text(

@@ -11,7 +11,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Hashable, Iterable
 
-from repro.sim.message import BROADCAST, Outbox, Send
+from repro.sim.message import BROADCAST, Outbox, Send, expand_sends
 from repro.sim.network import AdversaryView
 from repro.sim.node import NodeApi, Protocol
 from repro.types import NodeId
@@ -67,7 +67,9 @@ class ProtocolWrappingStrategy(ByzantineStrategy):
                 trace_sink=None,
             )
             self._protocol.on_round(api, view.inbox)
-        return self.transform(list(outbox.sends), view)
+        # Expand batched fan-outs before handing the traffic to
+        # subclasses: transform() contracts on scalar Send objects.
+        return self.transform(list(expand_sends(outbox.sends)), view)
 
     def transform(
         self, sends: list[Send], view: AdversaryView

@@ -15,7 +15,7 @@ rotor-coordinator's candidate set, and Byzantine renaming all share.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Mapping
+from typing import Any, Hashable, Iterable, Mapping
 
 from repro.sim.inbox import Inbox
 from repro.types import NodeId, Round
@@ -58,17 +58,38 @@ class ViewTracker:
     """
 
     def __init__(self) -> None:
-        self._senders: set[NodeId] = set()
+        #: Either the shared round frozenset adopted wholesale (the
+        #: all-broadcast fast path: every node's view IS the round's
+        #: sender set, one object between them) or a private set once
+        #: ids arrive out-of-band (:meth:`observe_ids`).
+        self._senders: set[NodeId] | frozenset[NodeId] = frozenset()
 
     def observe(self, inbox: Inbox) -> None:
         # The inbox's distinct-sender set is cached on its (possibly
-        # round-shared) index, so this is a set union, not a message scan
-        # — and distinct_senders hands back the shared frozenset with no
-        # per-node copy.
-        self._senders.update(inbox.distinct_senders())
+        # round-shared) index.  While the view is a shared frozenset,
+        # the steady state ("nothing new this round") is answered by the
+        # index's cached covered_by — O(1) per node — and growth unions
+        # into a new frozenset that stays shareable.
+        current = self._senders
+        if type(current) is frozenset:
+            if not current:
+                senders = inbox.distinct_senders()
+                if senders:
+                    self._senders = senders
+                return
+            if inbox.index.covered_by(current):
+                return
+            self._senders = current | inbox.distinct_senders()
+            return
+        current.update(inbox.distinct_senders())
 
     def observe_ids(self, ids: Iterable[NodeId]) -> None:
-        self._senders.update(ids)
+        current = self._senders
+        if type(current) is frozenset:
+            self._senders = set(current)
+            self._senders.update(ids)
+        else:
+            current.update(ids)
 
     @property
     def n_v(self) -> int:
@@ -82,8 +103,17 @@ class ViewTracker:
         return node in self._senders
 
     def freeze(self) -> frozenset[NodeId]:
-        """Snapshot the current membership view."""
-        return frozenset(self._senders)
+        """Snapshot the current membership view.
+
+        On the shared-view fast path this *is* the round index's shared
+        sender frozenset — every node freezing the same round holds one
+        object, which keeps later membership-keyed caches (restriction,
+        covered_by, derived tallies) single-entry.
+        """
+        current = self._senders
+        if type(current) is frozenset:
+            return current
+        return frozenset(current)
 
 
 @dataclass
@@ -94,6 +124,119 @@ class EchoDecision:
     echo: list[Hashable] = field(default_factory=list)
     #: Tags newly accepted this round: reached ``2n_v/3``.
     newly_accepted: list[Hashable] = field(default_factory=list)
+    #: Set on the shared-plane fast path: the round-shared delta this
+    #: decision came from (``echo``/``newly_accepted`` are then shared
+    #: lists, identical objects for every node that adopted the same
+    #: prior state — read-only by convention).  Consumers tracking sorted accepted tags
+    #: (:class:`~repro.core.rotor.CandidateSet`) use it to adopt the
+    #: shared sorted list instead of re-inserting per node.
+    shared_delta: Any = None
+    #: The evaluation round, when ``shared_delta`` is set.
+    decided_round: Round | None = None
+
+
+class _EchoDelta:
+    """One shared echo decision *relative to* a prior accepted dict.
+
+    Computed once per distinct prior state per round; in the lock-step
+    all-correct steady state every node carries the identical prior
+    object, so the whole population shares a single delta — and adopts
+    the single merged accepted dict / sorted tag list it memoizes.
+    """
+
+    __slots__ = ("echo", "newly", "_prior", "_merged", "_sorted")
+
+    def __init__(
+        self,
+        echo: list[Hashable],
+        newly: list[Hashable],
+        prior: dict[Hashable, Round] | None,
+    ):
+        self.echo = echo
+        self.newly = newly
+        self._prior = prior
+        self._merged: tuple[Round, dict] | None = None
+        self._sorted: tuple[Round, list] | None = None
+
+    def merged(self, round_no: Round) -> dict[Hashable, Round]:
+        """Prior accepted dict plus the newly accepted tags (shared)."""
+        cached = self._merged
+        if cached is None or cached[0] != round_no:
+            base = dict(self._prior) if self._prior else {}
+            for tag in self.newly:
+                base[tag] = round_no
+            cached = self._merged = (round_no, base)
+        return cached[1]
+
+    def sorted_merged(self, round_no: Round) -> list[Hashable]:
+        """Sorted tags of :meth:`merged` (shared; adopt copy-on-write)."""
+        cached = self._sorted
+        if cached is None or cached[0] != round_no:
+            cached = self._sorted = (
+                round_no,
+                sorted(self.merged(round_no)),
+            )
+        return cached[1]
+
+
+class _SharedEchoDecision:
+    """Both thresholds applied to one shared tally, once per round.
+
+    Holds the threshold outcomes over *all* tags; :meth:`delta` filters
+    them against a node's already-accepted dict, memoized by prior-dict
+    identity (with a strong reference, so ids cannot be recycled).
+    """
+
+    __slots__ = ("echo_all", "newly_all", "_deltas", "_fresh")
+
+    def __init__(
+        self,
+        tallies: Mapping[Hashable, frozenset[NodeId]],
+        n_v: int,
+    ):
+        echo: list[Hashable] = []
+        newly: list[Hashable] = []
+        # Homogeneous broadcast rounds hand every tag the same shared
+        # sender frozenset; memoize the thresholds by set identity so n
+        # tags cost one count.
+        last: Any = None
+        echoes = accepts = False
+        for tag, senders in tallies.items():
+            if senders is not last:
+                count = len(senders)
+                echoes = at_least_third(count, n_v)
+                accepts = at_least_two_thirds(count, n_v)
+                last = senders
+            if echoes:
+                echo.append(tag)
+            if accepts:
+                newly.append(tag)
+        # Plain lists, matching the historical EchoDecision field types;
+        # they are shared between nodes and never mutated by consumers.
+        self.echo_all = echo
+        self.newly_all = newly
+        self._deltas: dict[int, tuple[dict, _EchoDelta]] = {}
+        self._fresh: _EchoDelta | None = None
+
+    def delta(self, prior: dict[Hashable, Round] | None) -> _EchoDelta:
+        if not prior:
+            fresh = self._fresh
+            if fresh is None:
+                fresh = self._fresh = _EchoDelta(
+                    self.echo_all, self.newly_all, None
+                )
+            return fresh
+        key = id(prior)
+        entry = self._deltas.get(key)
+        if entry is not None and entry[0] is prior:
+            return entry[1]
+        delta = _EchoDelta(
+            [t for t in self.echo_all if t not in prior],
+            [t for t in self.newly_all if t not in prior],
+            prior,
+        )
+        self._deltas[key] = (prior, delta)
+        return delta
 
 
 class EchoVoting:
@@ -118,14 +261,40 @@ class EchoVoting:
     the round's cached tally directly, copy-on-extend only when a second
     batch arrives for the same tag.  :meth:`evaluate` only reads sizes,
     so the shared sets are never mutated.
+
+    The *shared echo-decision plane* goes one step further for the
+    dominant shape — exactly one :meth:`absorb_inbox` between
+    evaluations, over a round-shared index: the whole tally is held as
+    one chunk, the thresholds are computed once per round on the index
+    (:class:`_SharedEchoDecision`), and each node takes only an O(1)
+    identity-keyed delta against its accepted state, wholesale-adopting
+    the shared merged ``accepted`` dict.  Any second absorb before the
+    next evaluate folds the chunk back into the legacy per-tag union
+    (thresholds apply to the union across chunks, never per chunk), and
+    a node whose state diverged thaws its dict copy-on-write — the
+    legacy semantics are the definition, the plane only shortcuts them.
     """
 
     def __init__(self) -> None:
         self._pending: dict[Hashable, set[NodeId] | frozenset[NodeId]] = {}
+        #: (tallies, index, key): one whole-inbox tally chunk held for
+        #: the shared fast path; valid only while ``_pending`` is empty.
+        self._shared: tuple | None = None
         self.accepted: dict[Hashable, Round] = {}
+        #: True while ``accepted`` is a round-shared dict (adopted from
+        #: the plane); any private write thaws a copy first.
+        self._accepted_shared = False
+
+    def _fold_shared(self) -> None:
+        """Demote the held shared chunk into the per-tag pending union."""
+        shared = self._shared
+        if shared is not None:
+            self._shared = None
+            self._merge_sets(shared[0])
 
     def absorb(self, pairs: Iterable[tuple[NodeId, Hashable]]) -> None:
         """Record (sender, tag) echo observations since the last evaluate."""
+        self._fold_shared()
         pending = self._pending
         for sender, tag in pairs:
             existing = pending.get(tag)
@@ -148,6 +317,12 @@ class EchoVoting:
         already computed once on the round's shared index; absent tags
         adopt the shared frozenset without copying.
         """
+        self._fold_shared()
+        self._merge_sets(tallies)
+
+    def _merge_sets(
+        self, tallies: Mapping[Hashable, frozenset[NodeId]]
+    ) -> None:
         pending = self._pending
         for tag, senders in tallies.items():
             existing = pending.get(tag)
@@ -165,23 +340,61 @@ class EchoVoting:
 
         Rides the quorum-tally plane: the per-tag distinct-sender sets
         come from the inbox's (possibly round-shared) index, so the
-        grouping work happens once per round, not once per node.
+        grouping work happens once per round, not once per node.  The
+        single-absorb-per-evaluation shape — the protocols' hot path —
+        keeps the whole tally as one shared chunk, deferring all
+        per-tag work to the round-shared decision in :meth:`evaluate`.
         """
-        self.absorb_sets(inbox.payload_sender_sets(kind, instance))
+        tallies = inbox.payload_sender_sets(kind, instance)
+        if not tallies:
+            return
+        if self._shared is None and not self._pending:
+            self._shared = (tallies, inbox.index, (kind, instance))
+            return
+        self.absorb_sets(tallies)
 
     def evaluate(self, n_v: int, round_no: Round) -> EchoDecision:
         """Apply both thresholds, clear the pending buffer, and report."""
+        shared = self._shared
+        if shared is not None:
+            self._shared = None
+            tallies, index, key = shared
+            decision_plane = index.derive(
+                ("echo-decisions", key, n_v),
+                lambda _idx: _SharedEchoDecision(tallies, n_v),
+            )
+            accepted = self.accepted
+            delta = decision_plane.delta(accepted if accepted else None)
+            if delta.newly:
+                # Wholesale adoption: this node's accepted state becomes
+                # the round-shared merged dict (thawed copy-on-write by
+                # any later private acceptance).
+                self.accepted = delta.merged(round_no)
+                self._accepted_shared = True
+                return EchoDecision(
+                    echo=delta.echo,
+                    newly_accepted=delta.newly,
+                    shared_delta=delta,
+                    decided_round=round_no,
+                )
+            return EchoDecision(echo=delta.echo, newly_accepted=[])
         decision = EchoDecision()
-        for tag, senders in self._pending.items():
-            if tag in self.accepted:
-                continue
-            count = len(senders)
-            if at_least_third(count, n_v):
-                decision.echo.append(tag)
-            if at_least_two_thirds(count, n_v):
-                decision.newly_accepted.append(tag)
-                self.accepted[tag] = round_no
-        self._pending.clear()
+        pending = self._pending
+        if pending:
+            accepted = self.accepted
+            for tag, senders in pending.items():
+                if tag in accepted:
+                    continue
+                count = len(senders)
+                if at_least_third(count, n_v):
+                    decision.echo.append(tag)
+                if at_least_two_thirds(count, n_v):
+                    decision.newly_accepted.append(tag)
+                    if self._accepted_shared:
+                        accepted = self.accepted = dict(accepted)
+                        self._accepted_shared = False
+                    accepted[tag] = round_no
+            pending.clear()
         return decision
 
     def is_accepted(self, tag: Hashable) -> bool:

@@ -67,16 +67,31 @@ class CandidateSet:
         #: Instance namespace for the wire messages (total ordering runs
         #: one candidate set per consensus instance).
         self.instance = instance
+        #: True while ``candidates`` is a round-shared sorted list
+        #: adopted from the echo-decision plane; any private insertion
+        #: thaws a copy first (the list is never mutated while shared).
+        self._candidates_shared = False
 
     def announce(self, api: NodeApi) -> None:
         """Round 1: broadcast willingness to coordinate."""
         api.broadcast(KIND_INIT, instance=self.instance)
 
     def echo_inits(self, api: NodeApi, inbox: Inbox) -> None:
-        """Round 2: echo every node that announced itself."""
-        announcers = inbox.distinct_senders(KIND_INIT, instance=self.instance)
-        for sender in sorted(announcers):
-            api.broadcast(KIND_ECHO, sender, instance=self.instance)
+        """Round 2: echo every node that announced itself.
+
+        The sorted announcer tuple is derived once on the round's
+        shared index, so every node broadcasts the *same* tuple object
+        — one interned batch for the whole echo storm.
+        """
+        instance = self.instance
+        announcers = inbox.derive(
+            ("rotor-announcers", instance),
+            lambda idx: tuple(
+                sorted(idx.sender_set(KIND_INIT, ..., instance))
+            ),
+        )
+        if announcers:
+            api.broadcast_many(KIND_ECHO, announcers, instance=instance)
 
     def absorb(self, inbox: Inbox) -> None:
         """Accumulate echo observations from a real round's inbox.
@@ -97,11 +112,27 @@ class CandidateSet:
         of ``B_v`` to the end of the round and skips it on termination).
         """
         decision = self.voting.evaluate(n_v, api.round)
-        for candidate in decision.newly_accepted:
-            bisect.insort(self.candidates, candidate)
-        if broadcast:
-            for tag in decision.echo:
-                api.broadcast(KIND_ECHO, tag, instance=self.instance)
+        newly = decision.newly_accepted
+        if newly:
+            delta = decision.shared_delta
+            if delta is not None:
+                # The voting adopted the shared merged accepted dict;
+                # candidates is always sorted(accepted), so adopt the
+                # matching shared sorted list wholesale (copy-on-write).
+                self.candidates = delta.sorted_merged(
+                    decision.decided_round
+                )
+                self._candidates_shared = True
+            else:
+                if self._candidates_shared:
+                    self.candidates = list(self.candidates)
+                    self._candidates_shared = False
+                for candidate in newly:
+                    bisect.insort(self.candidates, candidate)
+        if broadcast and decision.echo:
+            api.broadcast_many(
+                KIND_ECHO, decision.echo, instance=self.instance
+            )
         return decision.echo
 
     def __len__(self) -> int:
@@ -228,11 +259,10 @@ class RotorCore:
             opinion,
             allow_repeat=allow_repeat,
         )
-        if not step.repeat or allow_repeat:
-            for tag in echoes:
-                api.broadcast(
-                    KIND_ECHO, tag, instance=self.candidate_set.instance
-                )
+        if (not step.repeat or allow_repeat) and echoes:
+            api.broadcast_many(
+                KIND_ECHO, echoes, instance=self.candidate_set.instance
+            )
         return step
 
     @staticmethod

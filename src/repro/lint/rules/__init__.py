@@ -16,6 +16,7 @@ from repro.lint.rules.determinism import (
     WallClockCall,
 )
 from repro.lint.rules.hygiene import (
+    ColumnarInternalsAccess,
     InboxInternalsAccess,
     OutboxInProtocol,
     PrivateApiAccess,
@@ -57,6 +58,7 @@ def all_rules() -> list[Rule]:
         PrivateApiAccess(),
         SenderStamping(),
         InboxInternalsAccess(),
+        ColumnarInternalsAccess(),
         EventPlaneBypass(),
     ]
 

@@ -40,6 +40,33 @@ INBOX_PRIVATE_ATTRS = frozenset(
     {"_messages", "_index", "_derived", "_restrictions"}
 )
 
+#: Columnar round-plane internals (src/repro/sim/columnar.py).  The
+#: engine stages every broadcast of a round into one shared
+#: struct-of-arrays store; a ColumnarIndex is a lazy view over it.
+#: Protocol code that reads the raw columns, the payload/kind/instance
+#: intern tables, or the staging dedup state would couple itself to the
+#: storage layout (and any write would corrupt every aliasing
+#: recipient).  Protocols see messages, never columns.
+COLUMNAR_PRIVATE_ATTRS = frozenset(
+    {
+        "_cols",
+        "_columns",
+        "_payload_ids",
+        "_kind_ids",
+        "_instance_ids",
+        "_batches",
+        "_batch_aliases",
+        "_sender_batches",
+        "_scalar_ki",
+        "_sender_scalar_keys",
+        "_materialized",
+    }
+)
+
+#: Public on the columnar types for the *engine's* sake, but off-limits
+#: to protocols when reached through an inbox's index.
+COLUMNAR_VIEW_ATTRS = frozenset({"columns", "plane"})
+
 
 class OutboxInProtocol(Rule):
     """R401: protocols never import or construct an Outbox."""
@@ -175,5 +202,47 @@ class InboxInternalsAccess(Rule):
                     self.code,
                     f"'.index.{node.attr}' reaches into the shared "
                     "InboxIndex cache internals",
+                    hint="use the Inbox query methods",
+                )
+
+
+class ColumnarInternalsAccess(Rule):
+    """R405: protocols see messages, never the columnar round plane."""
+
+    code = "R405"
+    name = "columnar-internals-access"
+    description = (
+        "protocol code may not touch columnar round-plane internals "
+        "(_cols/_columns, the payload/kind/instance intern tables, "
+        "staging dedup state, or index.columns/index.plane); the "
+        "columns are one shared per-round store and protocols must "
+        "stay storage-agnostic"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_layer(*PROTOCOL_LAYERS)
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr in COLUMNAR_PRIVATE_ATTRS:
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"'.{node.attr}' is columnar round-plane storage, "
+                    "shared by every recipient of the round's broadcasts",
+                    hint="use the Inbox query methods; the columnar "
+                    "plane is an engine implementation detail",
+                )
+            elif node.attr in COLUMNAR_VIEW_ATTRS and (
+                isinstance(node.value, ast.Attribute)
+                and node.value.attr == "index"
+            ):
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"'.index.{node.attr}' exposes the raw column "
+                    "store behind the shared per-round index",
                     hint="use the Inbox query methods",
                 )

@@ -23,7 +23,7 @@ import time
 
 from repro.net.peer import NetPeer
 from repro.sim.inbox import Inbox
-from repro.sim.message import BROADCAST, Message
+from repro.sim.message import BROADCAST, Message, expand_sends
 from repro.sim.network import AdversaryView
 from repro.sim.rng import make_rng
 from repro.types import NodeId
@@ -94,7 +94,7 @@ class ByzantineRunner:
             rng=self._rng,
             correct_traffic=(),  # no rushing on a real network
         )
-        for send in self.strategy.on_round(view):
+        for send in expand_sends(self.strategy.on_round(view)):
             if send.dest is BROADCAST:
                 self.peer.broadcast(
                     self.round, send.kind, send.payload, send.instance

@@ -36,7 +36,7 @@ from repro.obs.events import (
     RunStarted,
 )
 from repro.sim.inbox import Inbox
-from repro.sim.message import BROADCAST, Message, Outbox
+from repro.sim.message import BROADCAST, Message, Outbox, expand_sends
 from repro.sim.node import NodeApi, Protocol
 from repro.types import NodeId
 
@@ -169,7 +169,9 @@ class LockstepRunner:
         )
         self.protocol.on_round(api, inbox)
         emit_send = self._emit_send
-        for send in outbox:
+        # The net runtime has per-message frames, no staging plane:
+        # batched fan-outs expand back to scalar sends at the wire.
+        for send in expand_sends(outbox):
             if send.dest is BROADCAST:
                 self.peer.broadcast(
                     round_no, send.kind, send.payload, send.instance

@@ -136,6 +136,75 @@ class MessageSent:
 
 
 @dataclass(slots=True)
+class MessageBatchSent:
+    """One batched broadcast fan-out (a ``broadcast_many`` call).
+
+    Semantically equivalent to ``len(payloads)`` :class:`MessageSent`
+    events (all broadcasts, one kind/instance); the sync engine emits
+    one of these instead so an n-payload echo storm costs one event.
+    ``staged`` is the number of payloads accepted into staging;
+    ``staged_flags`` is a per-payload bool tuple, or ``None`` when every
+    payload staged (the hot path).  ``wire_bytes`` totals the batch.
+
+    Process-local convenience topic: the JSONL sink renders it as the
+    equivalent per-payload ``send`` lines, so the on-disk vocabulary
+    (and :data:`SCHEMA_VERSION`) is unchanged, and it is deliberately
+    not in :data:`EVENT_TYPES`.  Subscribers that want per-send events
+    and batches must subscribe to both ``send`` and ``send-batch``.
+    """
+
+    round: Round
+    sender: NodeId
+    kind: str
+    payloads: Sequence[Hashable]
+    instance: Hashable = None
+    wire_bytes: int = 0
+    staged: int = 0
+    staged_flags: Sequence[bool] | None = None
+    time: float | None = None
+
+    topic: ClassVar[str] = "send-batch"
+
+    def expanded(self) -> "tuple[MessageSent, ...]":
+        """The equivalent per-payload ``send`` events."""
+        flags = self.staged_flags
+        per_payload = (
+            self.wire_bytes // len(self.payloads) if self.payloads else 0
+        )
+        return tuple(
+            MessageSent(
+                round=self.round,
+                sender=self.sender,
+                kind=self.kind,
+                payload=payload,
+                instance=self.instance,
+                dest=None,
+                wire_bytes=per_payload,
+                staged=bool(flags[i]) if flags is not None else True,
+                time=self.time,
+            )
+            for i, payload in enumerate(self.payloads)
+        )
+
+
+@dataclass(slots=True)
+class PlaneStats:
+    """Cumulative columnar-plane interning counters for one run.
+
+    Emitted by the sync engine at each round end when the columnar
+    plane is active, carrying run-cumulative values (last one wins).
+    Process-local observability — not part of the JSONL vocabulary
+    (the sink skips it) and not in :data:`EVENT_TYPES`.
+    """
+
+    round: Round
+    payload_intern_hits: int
+    unique_payloads: int
+
+    topic: ClassVar[str] = "plane-stats"
+
+
+@dataclass(slots=True)
 class InboxDelivered:
     """One recipient's deliveries for one round (or one asyncsim
     delivery, as a singleton batch).

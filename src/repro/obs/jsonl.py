@@ -100,6 +100,19 @@ class JsonlSink:
         bus.subscribe(self, topics=None)
 
     def __call__(self, event: Any) -> None:
+        topic = event.topic
+        if topic == "send-batch":
+            # Render a batched fan-out as the per-payload ``send`` lines
+            # the legacy path would have written: the on-disk vocabulary
+            # (and schema version) is independent of batching.
+            for send in event.expanded():
+                self._fh.write(json.dumps(event_to_json(send)) + "\n")
+                self.count += 1
+            return
+        if topic == "plane-stats":
+            # Process-local interning counters; not part of the wire
+            # vocabulary (Metrics.summary() reports them instead).
+            return
         self._fh.write(json.dumps(event_to_json(event)) + "\n")
         self.count += 1
 

@@ -75,6 +75,7 @@ class InboxIndex:
         "_subs",
         "_derived",
         "_restrictions",
+        "_covered",
     )
 
     def __init__(
@@ -112,6 +113,10 @@ class InboxIndex:
         self._derived: dict[Hashable, Any] = {}
         #: membership -> shared membership-restricted sub-inbox.
         self._restrictions: dict[frozenset, "Inbox"] = {}
+        #: membership -> "every sender is inside it" (the restricted_to
+        #: fast-path check, paid once per membership per round instead
+        #: of once per recipient).
+        self._covered: dict[frozenset, bool] = {}
 
     @classmethod
     def layered(
@@ -321,6 +326,24 @@ class InboxIndex:
             )
         return tags
 
+    def message_count(self) -> int:
+        """Number of messages (overridable without materializing them)."""
+        return len(self.messages)
+
+    def covered_by(self, members: frozenset[NodeId]) -> bool:
+        """True when every sender is in *members* (cached per membership).
+
+        :meth:`Inbox.restricted_to` asks this every round for every
+        recipient; the subset test is O(senders), so the answer is
+        cached once per membership on the (shared) index.
+        """
+        if not isinstance(members, frozenset):
+            return self.all_senders <= members
+        cached = self._covered.get(members)
+        if cached is None:
+            cached = self._covered[members] = self.all_senders <= members
+        return cached
+
     # ------------------------------------------------------------------
     # The quorum-tally plane: shared derived views
     # ------------------------------------------------------------------
@@ -391,6 +414,10 @@ class Inbox:
     All query methods route through the index and return results
     identical to a naive linear scan (pinned by
     ``tests/properties/test_index_coherence.py``).
+
+    When built over an index the message tuple is fetched lazily: a
+    columnar index answers counts and tallies straight from its columns,
+    and materializes message objects only if somebody iterates.
     """
 
     __slots__ = ("_messages", "_index")
@@ -402,10 +429,16 @@ class Inbox:
         index: InboxIndex | None = None,
     ):
         if index is not None:
-            self._messages = index.messages
+            self._messages = None
         else:
             self._messages = tuple(messages)
         self._index = index
+
+    def _seq(self) -> tuple[Message, ...]:
+        seq = self._messages
+        if seq is None:
+            seq = self._messages = self._index.messages
+        return seq
 
     @property
     def index(self) -> InboxIndex:
@@ -416,13 +449,15 @@ class Inbox:
         return idx
 
     def __iter__(self) -> Iterator[Message]:
-        return iter(self._messages)
+        return iter(self._seq())
 
     def __len__(self) -> int:
+        if self._messages is None:
+            return self._index.message_count()
         return len(self._messages)
 
     def __bool__(self) -> bool:
-        return bool(self._messages)
+        return len(self) > 0
 
     def filter(
         self,
@@ -447,7 +482,7 @@ class Inbox:
         pool = (
             self.index.kind_bucket(kind)
             if kind is not None
-            else self._messages
+            else self._seq()
         )
         return Inbox(
             m for m in pool if m.matches(kind, payload, instance)
@@ -574,7 +609,7 @@ class Inbox:
         all recipients of a shared index restricting to one frozen
         membership share a single filtered sub-inbox.
         """
-        if self.index.all_senders <= members:
+        if self.index.covered_by(members):
             return self
         return self.index.restricted(members)
 

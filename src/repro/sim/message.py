@@ -75,6 +75,45 @@ class Send:
         )
 
 
+@dataclass(frozen=True, slots=True)
+class BatchSend:
+    """A broadcast fan-out: one kind/instance, many payloads, one entry.
+
+    The all-broadcast protocols regularly re-echo every known tag in one
+    round; staging that as k separate :class:`Send` objects is what the
+    columnar plane exists to avoid.  A batch stays a single object from
+    the outbox through staging — the network registers the payload tuple
+    once and records one segment per sender.  ``payloads`` must be a
+    tuple of hashables; an empty batch is never created
+    (:meth:`Outbox.broadcast_many` drops it).
+    """
+
+    kind: str
+    payloads: tuple[Hashable, ...]
+    instance: Hashable = None
+
+    def expanded(self) -> "tuple[Send, ...]":
+        """The equivalent scalar broadcasts, in payload order."""
+        return tuple(
+            Send(BROADCAST, self.kind, payload, self.instance)
+            for payload in self.payloads
+        )
+
+
+def expand_sends(sends):
+    """Iterate *sends* with every :class:`BatchSend` expanded in place.
+
+    Consumers that genuinely need per-send granularity (adversary
+    strategies transforming traffic, the async runtime's per-message
+    queues) use this to stay batch-agnostic.
+    """
+    for send in sends:
+        if type(send) is BatchSend:
+            yield from send.expanded()
+        else:
+            yield send
+
+
 @dataclass(slots=True)
 class Outbox:
     """Collects a node's sends within one round."""
@@ -86,6 +125,23 @@ class Outbox:
     ) -> None:
         self.sends.append(Send(BROADCAST, kind, payload, instance))
 
+    def broadcast_many(
+        self,
+        kind: str,
+        payloads: tuple[Hashable, ...],
+        instance: Hashable = None,
+    ) -> None:
+        """Broadcast one message per payload as a single batched entry.
+
+        Exactly equivalent to ``for p in payloads: broadcast(kind, p,
+        instance)`` — same delivery, same duplicate suppression, same
+        observable send events — but staged as one batch.
+        """
+        if not isinstance(payloads, tuple):
+            payloads = tuple(payloads)
+        if payloads:
+            self.sends.append(BatchSend(kind, payloads, instance))
+
     def send(
         self,
         dest: NodeId,
@@ -96,7 +152,14 @@ class Outbox:
         self.sends.append(Send(dest, kind, payload, instance))
 
     def __len__(self) -> int:
+        """Number of staged entries (a batch counts once; see ``sends``)."""
         return len(self.sends)
 
     def __iter__(self):
-        return iter(self.sends)
+        """Iterate logical sends, expanding batches to scalar broadcasts.
+
+        The engine reads ``sends`` directly (batches intact); everything
+        else — tests, adversaries, the net runtime — iterates and sees
+        the historical per-send granularity.
+        """
+        return expand_sends(self.sends)

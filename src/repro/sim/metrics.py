@@ -47,6 +47,10 @@ class Metrics:
     #: read wall time, so these never influence behaviour.
     engine_time_by_phase: Counter = field(default_factory=Counter)
     engine_time_by_round: Counter = field(default_factory=Counter)
+    #: Columnar-plane interning counters (cumulative; updated from
+    #: ``plane-stats`` events, zero when the plane is off).
+    payload_intern_hits: int = 0
+    unique_payloads: int = 0
 
     # ------------------------------------------------------------------
     # Event-bus subscription
@@ -55,18 +59,22 @@ class Metrics:
         """Subscribe these counters to *bus*; returns self for chaining."""
         bus.subscribe(self._on_round_start, "round-start")
         bus.subscribe(self._on_send, "send")
+        bus.subscribe(self._on_send_batch, "send-batch")
         bus.subscribe(self._on_deliver, "deliver")
         bus.subscribe(self._on_phase, "engine-phase")
         bus.subscribe(self._on_drop, "drop")
+        bus.subscribe(self._on_plane, "plane-stats")
         return self
 
     def detach(self, bus) -> None:
         """Stop counting events from *bus* (zero-cost once detached)."""
         bus.unsubscribe(self._on_round_start)
         bus.unsubscribe(self._on_send)
+        bus.unsubscribe(self._on_send_batch)
         bus.unsubscribe(self._on_deliver)
         bus.unsubscribe(self._on_phase)
         bus.unsubscribe(self._on_drop)
+        bus.unsubscribe(self._on_plane)
 
     def _on_round_start(self, event) -> None:
         self.record_round(event.round)
@@ -87,6 +95,30 @@ class Metrics:
         if event.staged:
             self.staged_total += 1
             self.staged_by_round[round_no] += 1
+
+    def _on_send_batch(self, event) -> None:
+        # One event per batched fan-out: bump the per-send counters in
+        # bulk (a batch of k payloads is k logical sends).
+        round_no = event.round
+        kind = event.kind
+        count = len(event.payloads)
+        self.sends_total += count
+        self.sends_by_node[event.sender] += count
+        self.sends_by_kind[kind] += count
+        self.sends_by_round[round_no] += count
+        wire_bytes = event.wire_bytes
+        if wire_bytes:
+            self.bytes_total += wire_bytes
+            self.bytes_by_kind[kind] += wire_bytes
+        staged = event.staged
+        if staged:
+            self.staged_total += staged
+            self.staged_by_round[round_no] += staged
+
+    def _on_plane(self, event) -> None:
+        # Cumulative counters: the latest event carries the run totals.
+        self.payload_intern_hits = event.payload_intern_hits
+        self.unique_payloads = event.unique_payloads
 
     def _on_deliver(self, event) -> None:
         count = len(event.messages)
@@ -150,6 +182,8 @@ class Metrics:
             "staged_total": self.staged_total,
             "sends_per_round": round(self.sends_per_round, 2),
             "kinds": dict(self.sends_by_kind),
+            "payload_intern_hits": self.payload_intern_hits,
+            "unique_payloads": self.unique_payloads,
         }
         if self.bytes_total:
             summary["bytes_total"] = self.bytes_total

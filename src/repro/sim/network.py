@@ -60,15 +60,24 @@ from repro.obs.bus import EventBus
 from repro.obs.events import (
     EnginePhase,
     InboxDelivered,
+    MessageBatchSent,
     MessageSent,
+    PlaneStats,
     ProtocolEvent,
     RoundEnded,
     RoundStarted,
     RunStarted,
 )
+from repro.sim.columnar import ColumnarIndex, ColumnarMessages, ColumnarPlane
 from repro.sim.inbox import Inbox, InboxIndex
 from repro.sim.membership import MembershipSchedule
-from repro.sim.message import BROADCAST, Message, Outbox, Send
+from repro.sim.message import (
+    BROADCAST,
+    BatchSend,
+    Message,
+    Outbox,
+    Send,
+)
 from repro.sim.metrics import Metrics
 from repro.sim.node import NodeApi, Protocol
 from repro.sim.rng import Random, make_rng
@@ -130,6 +139,12 @@ class _NodeState:
     #: length match proves the cache is current — the steady-state round
     #: rebuilds nothing.
     contacts_frozen: frozenset[NodeId] = frozenset()
+    #: On the columnar path, a founding node's contacts are exactly the
+    #: engine's cumulative broadcast-sender pool — shared as one
+    #: frozenset across all such nodes, no per-node set at all.  The
+    #: flag drops (and ``contacts`` takes over, seeded from the pool)
+    #: the first time the node receives a direct message.
+    contacts_shared: bool = False
     #: Recycled per-node NodeApi (round / contacts / outbox fields are
     #: refreshed each round before ``on_round`` runs).  The engine drains
     #: the outbox within the same round, so reuse is unobservable to a
@@ -158,6 +173,7 @@ class SyncNetwork:
         measure_bytes: bool = False,
         clock: Callable[[], float] | None = None,
         bus: EventBus | None = None,
+        columnar: bool = True,
     ):
         self.seed = seed
         self._rng = make_rng(seed)
@@ -180,8 +196,28 @@ class SyncNetwork:
         #: benchmarks, so determinism is untouched.
         self._clock = clock
         self._nodes: dict[NodeId, _NodeState] = {}
-        #: Round-r broadcast queue: one shared Message per logical
-        #: broadcast, delivered to every node alive at round r + 1.
+        #: The columnar round plane (docs/model.md "Columnar delivery"):
+        #: broadcasts stage into per-round struct-of-arrays columns, and
+        #: recipients get counting views instead of message objects.
+        #: Disabled when a subclass overrides ``_filter_deliveries`` —
+        #: per-recipient delivery filtering needs real per-message
+        #: objects, so e.g. LossyNetwork rides the object path.
+        self._columnar = (
+            columnar
+            and type(self)._filter_deliveries
+            is SyncNetwork._filter_deliveries
+        )
+        self._plane = ColumnarPlane() if self._columnar else None
+        #: The columns this round's broadcasts stage into (columnar
+        #: mode), swapped for a fresh instance at each delivery.
+        self._staging_cols = (
+            self._plane.new_round() if self._plane is not None else None
+        )
+        #: Cumulative broadcast-sender pool: the shared contacts
+        #: frozenset for founding nodes on the columnar path.
+        self._contact_pool: frozenset[NodeId] = frozenset()
+        #: Round-r broadcast queue (object path): one shared Message per
+        #: logical broadcast, delivered to every node alive at r + 1.
         self._broadcasts: list[Message] = []
         #: Value-equality keys of the queued broadcasts, for O(1)
         #: duplicate suppression at stage and delivery time.
@@ -195,8 +231,10 @@ class SyncNetwork:
         self._emit_round_start = None
         self._emit_round_end = None
         self._emit_send = None
+        self._emit_batch = None
         self._emit_deliver = None
         self._emit_phase = None
+        self._emit_plane = None
         self._protocol_sink = None
         self._refresh_sinks()
 
@@ -219,6 +257,10 @@ class SyncNetwork:
             behaviour=behaviour,
             byzantine=byzantine,
             joined_round=max(self.round + 1, 1),
+            # Founding nodes see every broadcast round, so their
+            # contacts are exactly the engine's cumulative sender pool;
+            # joiners miss earlier rounds and track contacts privately.
+            contacts_shared=self._columnar and self.round == 0,
         )
         self._alive_cache.clear()
 
@@ -314,8 +356,10 @@ class SyncNetwork:
         self._emit_round_start = bus.sink(RoundStarted.topic)
         self._emit_round_end = bus.sink(RoundEnded.topic)
         self._emit_send = bus.sink(MessageSent.topic)
+        self._emit_batch = bus.sink(MessageBatchSent.topic)
         self._emit_deliver = bus.sink(InboxDelivered.topic)
         self._emit_phase = bus.sink(EnginePhase.topic)
+        self._emit_plane = bus.sink(PlaneStats.topic)
         sink = bus.sink(ProtocolEvent.topic)
         if sink is None:
             self._protocol_sink = None
@@ -340,7 +384,10 @@ class SyncNetwork:
         t0 = clock() if clock else 0.0
         self._apply_membership()
 
-        inboxes = self._collect_inboxes()
+        if self._columnar:
+            inboxes = self._collect_columnar()
+        else:
+            inboxes = self._collect_inboxes()
         t1 = clock() if clock else 0.0
 
         correct_sends: list[tuple[NodeId, Send]] = []
@@ -358,7 +405,20 @@ class SyncNetwork:
         byz_sends: list[tuple[NodeId, Send]] = []
         byzantine_states = self._iter_alive(byzantine=True)
         if byzantine_states:
-            rushing_traffic = tuple(correct_sends) if self.rushing else ()
+            if self.rushing:
+                # Adversary strategies see per-send granularity: batched
+                # fan-outs expand to their equivalent scalar broadcasts.
+                rushing_traffic = tuple(
+                    (node_id, sub)
+                    for node_id, send in correct_sends
+                    for sub in (
+                        send.expanded()
+                        if type(send) is BatchSend
+                        else (send,)
+                    )
+                )
+            else:
+                rushing_traffic = ()
             alive = self.alive_ids
             correct_alive = self.correct_ids & alive
             byzantine_alive = self.byzantine_ids & alive
@@ -377,8 +437,12 @@ class SyncNetwork:
                     byz_sends.append((state.node_id, send))
         t3 = clock() if clock else 0.0
 
-        self._stage(correct_sends)
-        self._stage(byz_sends)
+        if self._columnar:
+            self._stage_columnar(correct_sends)
+            self._stage_columnar(byz_sends)
+        else:
+            self._stage(correct_sends)
+            self._stage(byz_sends)
         emit_phase = self._emit_phase
         if clock and emit_phase is not None:
             t4 = clock()
@@ -387,6 +451,16 @@ class SyncNetwork:
             emit_phase(EnginePhase(round_no, "correct", t2 - t1))
             emit_phase(EnginePhase(round_no, "adversary", t3 - t2))
             emit_phase(EnginePhase(round_no, "stage", t4 - t3))
+        emit_plane = self._emit_plane
+        if emit_plane is not None and self._plane is not None:
+            plane = self._plane
+            emit_plane(
+                PlaneStats(
+                    self.round,
+                    plane.payload_intern_hits,
+                    plane.unique_payloads,
+                )
+            )
         if self._emit_round_end is not None:
             self._emit_round_end(RoundEnded(self.round))
 
@@ -508,6 +582,90 @@ class SyncNetwork:
             inboxes[state.node_id] = inbox
         return inboxes
 
+    def _collect_columnar(self) -> dict[NodeId, Inbox]:
+        """Columnar-plane delivery: views over columns, no message objects.
+
+        Same delivery semantics as :meth:`_collect_inboxes` (resolved
+        recipient set, direct-vs-broadcast dedup, contact tracking), but
+        the round's broadcasts live in frozen struct-of-arrays columns:
+        every recipient shares one :class:`ColumnarIndex` view, contact
+        tracking is one cumulative pool update per round instead of a
+        per-node set union, and ``deliver`` events carry a lazy message
+        sequence that only materializes if somebody iterates it.
+        """
+        cols = self._staging_cols
+        self._staging_cols = self._plane.new_round()
+        has_broadcasts = len(cols) > 0
+        broadcast_senders: frozenset[NodeId] = frozenset()
+        if has_broadcasts:
+            broadcast_senders = cols.distinct_senders()
+            if not broadcast_senders <= self._contact_pool:
+                self._contact_pool = self._contact_pool | broadcast_senders
+
+        shared_index: ColumnarIndex | None = None
+        shared_inbox: Inbox | None = None
+        shared_view: ColumnarMessages | None = None
+        inboxes: dict[NodeId, Inbox] = {}
+        round_no = self.round
+        emit_deliver = self._emit_deliver
+        pool = self._contact_pool
+        for state in self._nodes.values():
+            direct = state.direct
+            if direct:
+                state.direct = []
+            if not state.alive:
+                continue
+            extras: tuple[Message, ...] = ()
+            if direct:
+                seen: set[Message] = set()
+                fresh: list[Message] = []
+                for message in direct:
+                    if cols.contains_message(message) or message in seen:
+                        continue
+                    seen.add(message)
+                    fresh.append(message)
+                extras = tuple(fresh)
+            if extras:
+                # Direct deliveries are the rare, genuinely per-node
+                # case: take the object path (materializing the shared
+                # columns once if broadcasts ride along).
+                if state.contacts_shared:
+                    state.contacts_shared = False
+                    state.contacts = set(pool)
+                if has_broadcasts:
+                    if shared_index is None:
+                        shared_index = ColumnarIndex(cols)
+                        shared_inbox = Inbox(index=shared_index)
+                        shared_view = shared_index.message_view()
+                    inbox = Inbox(
+                        index=InboxIndex.layered(shared_index, extras)
+                    )
+                    delivered: Sequence[Message] = (
+                        shared_index.messages + extras
+                    )
+                    state.contacts.update(broadcast_senders)
+                else:
+                    inbox = Inbox(extras)
+                    delivered = extras
+                state.contacts.update(m.sender for m in extras)
+            elif has_broadcasts:
+                if shared_inbox is None:
+                    shared_index = ColumnarIndex(cols)
+                    shared_inbox = Inbox(index=shared_index)
+                    shared_view = shared_index.message_view()
+                inbox = shared_inbox
+                delivered = shared_view
+                if not state.contacts_shared:
+                    state.contacts.update(broadcast_senders)
+            else:
+                continue
+            if emit_deliver is not None:
+                emit_deliver(
+                    InboxDelivered(round_no, state.node_id, delivered)
+                )
+            inboxes[state.node_id] = inbox
+        return inboxes
+
     def _filter_deliveries(
         self, state: _NodeState, messages: Sequence[Message]
     ) -> Sequence[Message]:
@@ -531,7 +689,9 @@ class SyncNetwork:
             api = state.api = NodeApi(
                 state.node_id,
                 self.round,
-                state.contacts_view(),
+                self._contact_pool
+                if state.contacts_shared
+                else state.contacts_view(),
                 Outbox(),
                 self._protocol_sink,
             )
@@ -540,11 +700,18 @@ class SyncNetwork:
             # Re-point at the current protocol sink: subscriptions may
             # have changed between rounds (None = nobody listens).
             api._trace_sink = self._protocol_sink
-            # contacts_view() inlined: this runs once per node per round.
-            frozen = state.contacts_frozen
-            if len(frozen) != len(state.contacts):
-                frozen = state.contacts_frozen = frozenset(state.contacts)
-            api._known_contacts = frozen
+            if state.contacts_shared:
+                # Columnar path: founding nodes alias the engine's
+                # cumulative broadcast-sender pool — O(1) per node.
+                api._known_contacts = self._contact_pool
+            else:
+                # contacts_view() inlined: runs once per node per round.
+                frozen = state.contacts_frozen
+                if len(frozen) != len(state.contacts):
+                    frozen = state.contacts_frozen = frozenset(
+                        state.contacts
+                    )
+                api._known_contacts = frozen
         outbox = api._outbox
         if outbox.sends:
             # A fresh list, not clear(): last round's sends were already
@@ -582,18 +749,106 @@ class SyncNetwork:
         round_no = self.round
         emit_send = self._emit_send
         for sender, send in sends:
-            message = send.stamped(sender)
+            if type(send) is BatchSend:
+                # Object path: a batch is indistinguishable from its
+                # expansion (per-send staging, events and dedup).
+                for sub in send.expanded():
+                    self._stage_one(sender, sub, round_no, emit_send)
+                continue
+            self._stage_one(sender, send, round_no, emit_send)
+
+    def _stage_one(
+        self, sender: NodeId, send: Send, round_no: Round, emit_send
+    ) -> None:
+        message = send.stamped(sender)
+        dest = send.dest
+        if dest is BROADCAST:
+            staged = message not in self._broadcast_keys
+            if staged:
+                self._broadcast_keys.add(message)
+                self._broadcasts.append(message)
+        else:
+            state = self._nodes.get(dest)
+            staged = state is not None and state.alive
+            if staged:
+                state.direct.append(message)
+        if emit_send is not None:
+            emit_send(
+                MessageSent(
+                    round_no,
+                    sender,
+                    send.kind,
+                    send.payload,
+                    send.instance,
+                    None if dest is BROADCAST else dest,
+                    self._wire_cost(sender, send),
+                    staged,
+                )
+            )
+
+    def _stage_columnar(self, sends: list[tuple[NodeId, Send]]) -> None:
+        """Queue sends into the round's columns (columnar mode).
+
+        Scalar broadcasts are four list appends; a batched fan-out is
+        one interned segment per sender.  Direct sends still stamp real
+        Message objects into the destination's queue — they are the
+        per-node case the columns don't model.
+        """
+        round_no = self.round
+        emit_send = self._emit_send
+        emit_batch = self._emit_batch
+        cols = self._staging_cols
+        plane = self._plane
+        measuring = self.measure_bytes
+        for sender, send in sends:
+            if type(send) is BatchSend:
+                batch = plane.intern_batch(
+                    send.kind, send.payloads, send.instance
+                )
+                staged_count, flags = cols.stage_batch(sender, batch)
+                if emit_batch is not None and not measuring:
+                    emit_batch(
+                        MessageBatchSent(
+                            round_no,
+                            sender,
+                            send.kind,
+                            send.payloads,
+                            send.instance,
+                            0,
+                            staged_count,
+                            flags,
+                        )
+                    )
+                elif emit_send is not None:
+                    # No batch subscriber (or byte accounting, which is
+                    # per-frame): emit the equivalent per-send events.
+                    for i, payload in enumerate(send.payloads):
+                        sub = Send(
+                            BROADCAST, send.kind, payload, send.instance
+                        )
+                        emit_send(
+                            MessageSent(
+                                round_no,
+                                sender,
+                                send.kind,
+                                payload,
+                                send.instance,
+                                None,
+                                self._wire_cost(sender, sub),
+                                bool(flags[i]) if flags is not None else True,
+                            )
+                        )
+                continue
             dest = send.dest
             if dest is BROADCAST:
-                staged = message not in self._broadcast_keys
-                if staged:
-                    self._broadcast_keys.add(message)
-                    self._broadcasts.append(message)
+                staged = cols.stage(
+                    sender, send.kind, send.payload, send.instance
+                )
             else:
                 state = self._nodes.get(dest)
                 staged = state is not None and state.alive
                 if staged:
-                    state.direct.append(message)
+                    state.direct.append(send.stamped(sender))
             if emit_send is not None:
                 emit_send(
                     MessageSent(

@@ -55,6 +55,22 @@ class NodeApi:
         """Broadcast a message to all participants (delivered next round)."""
         self._outbox.broadcast(kind, payload, instance)
 
+    def broadcast_many(
+        self,
+        kind: str,
+        payloads,
+        instance: Hashable = None,
+    ) -> None:
+        """Broadcast one message per payload (delivered next round).
+
+        Semantically identical to calling :meth:`broadcast` for each
+        payload; the fan-out is staged as one batch so a round that
+        re-echoes every known tag costs O(1) on the wire-staging path.
+        Passing the same payload tuple object from every node (e.g. a
+        shared per-round tally) lets the network intern the batch once.
+        """
+        self._outbox.broadcast_many(kind, payloads, instance)
+
     def send(
         self,
         dest: NodeId,

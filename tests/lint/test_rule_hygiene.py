@@ -234,6 +234,88 @@ class TestInboxInternalsAccess:
         )
         assert result.ok
 
+    def test_columnar_cols_handle_flagged(self, lint_tree):
+        # Fenced by name: even a bare index handle (inside a derive
+        # callback, say) cannot reach the column store.
+        result = lint_tree(
+            {
+                "repro/core/bad.py": """\
+                def peek(idx):
+                    return idx._cols.senders
+                """
+            }
+        )
+        assert codes(result) == ["R405"]
+
+    def test_index_chain_to_cols_trips_both_fences(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/bad.py": """\
+                def peek(inbox):
+                    return inbox.index._cols.senders
+                """
+            }
+        )
+        assert codes(result) == ["R404", "R405"]
+
+    def test_columnar_intern_table_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/bad.py": """\
+                def poison(plane, payload):
+                    plane._payload_ids[payload] = 0
+                """
+            }
+        )
+        assert codes(result) == ["R405"]
+
+    def test_columnar_view_via_index_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/bad.py": """\
+                def raw(inbox):
+                    return inbox.index.columns
+                """
+            }
+        )
+        assert codes(result) == ["R405"]
+
+    def test_columnar_plane_via_index_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/bad.py": """\
+                def raw(inbox):
+                    return inbox.index.plane
+                """
+            }
+        )
+        assert codes(result) == ["R405"]
+
+    def test_plain_columns_name_elsewhere_passes(self, lint_tree):
+        # Only the `.index.columns` / `.index.plane` chains are fenced;
+        # unrelated attributes with those names stay legal.
+        result = lint_tree(
+            {
+                "repro/core/good.py": """\
+                def width(table):
+                    return len(table.columns)
+                """
+            }
+        )
+        assert result.ok
+
+    def test_sim_layer_may_stage_columns(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/sim/ok.py": """\
+                def stage(net, cols):
+                    net._cols = cols
+                    return cols._materialized
+                """
+            }
+        )
+        assert result.ok
+
     def test_sim_layer_may_touch_internals(self, lint_tree):
         result = lint_tree(
             {

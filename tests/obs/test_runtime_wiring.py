@@ -23,15 +23,22 @@ def build_network(**kwargs):
 class TestSimWiring:
     def test_event_counts_match_metrics(self):
         collected = Counter()
+        batched_sends = []
         bus = EventBus()
         bus.subscribe(lambda e: collected.update([e.topic]))
+        bus.subscribe(
+            lambda e: batched_sends.append(len(e.payloads)), "send-batch"
+        )
         net = build_network(bus=bus)
         net.run(40)
         metrics = net.metrics
         assert collected["run-start"] == 1
         assert collected["round-start"] == metrics.rounds
         assert collected["round-end"] == metrics.rounds
-        assert collected["send"] == metrics.sends_total
+        # A batched fan-out is one "send-batch" event carrying k logical
+        # sends; scalar sends still arrive one "send" event each.
+        assert collected["send"] + sum(batched_sends) == metrics.sends_total
+        assert collected["send-batch"] == len(batched_sends)
         assert collected["protocol"] == len(net.trace)
         # deliveries_total counts messages; "deliver" counts inboxes
         assert 0 < collected["deliver"] <= metrics.deliveries_total

@@ -11,6 +11,7 @@ Randomization is seeded through :func:`repro.sim.rng.make_rng`, so every
 failure here replays byte-for-byte from its seed.
 """
 
+from repro.sim.columnar import ColumnarIndex, ColumnarPlane
 from repro.sim.inbox import Inbox, InboxIndex
 from repro.sim.message import Message
 from repro.sim.rng import make_rng
@@ -171,3 +172,187 @@ class TestIndexCoherence:
         messages = [Message(1, "echo", "m")]
         base = Inbox(messages)
         assert InboxIndex.layered(base.index, ()) is base.index
+
+
+# ----------------------------------------------------------------------
+# Columnar round plane: staged columns vs the object path.
+# ----------------------------------------------------------------------
+def random_stream(rng, size):
+    """A staging stream mixing scalar broadcasts, batched fan-outs,
+    exact repeats, and batch/scalar collisions on one sender."""
+    stream = []
+    while len(stream) < size:
+        sender = rng.choice(SENDERS)
+        kind = rng.choice(KINDS)
+        instance = rng.choice(INSTANCES)
+        if rng.random() < 0.35:
+            payloads = tuple(
+                rng.choice(PAYLOADS)
+                for _ in range(rng.randrange(1, 5))
+            )
+            stream.append(("batch", sender, kind, payloads, instance))
+        else:
+            stream.append(
+                ("scalar", sender, kind, rng.choice(PAYLOADS), instance)
+            )
+        if rng.random() < 0.2:
+            stream.append(rng.choice(stream))
+    return stream[:size]
+
+
+def stage_stream(stream, plane=None):
+    """Stage a stream into fresh columns, exactly as the engine would."""
+    plane = plane or ColumnarPlane()
+    cols = plane.new_round()
+    for entry in stream:
+        if entry[0] == "scalar":
+            _, sender, kind, payload, instance = entry
+            cols.stage(sender, kind, payload, instance)
+        else:
+            _, sender, kind, payloads, instance = entry
+            cols.stage_batch(
+                sender, plane.intern_batch(kind, payloads, instance)
+            )
+    return cols
+
+
+def expected_messages(stream):
+    """The object path's staging outcome: per-round Message-set dedup
+    over the expanded stream, in staging order."""
+    seen, out = set(), []
+    for entry in stream:
+        if entry[0] == "scalar":
+            _, sender, kind, payload, instance = entry
+            expanded = [Message(sender, kind, payload, instance)]
+        else:
+            _, sender, kind, payloads, instance = entry
+            expanded = [
+                Message(sender, kind, p, instance) for p in payloads
+            ]
+        for message in expanded:
+            if message not in seen:
+                seen.add(message)
+                out.append(message)
+    return out
+
+
+class TestColumnarCoherence:
+    def test_columnar_index_matches_object_path(self):
+        for seed in range(25):
+            rng = make_rng(seed, salt=20)
+            stream = random_stream(rng, rng.randrange(0, 40))
+            cols = stage_stream(stream)
+            messages = expected_messages(stream)
+            assert list(cols.materialize()) == messages
+            assert_coherent(Inbox(index=ColumnarIndex(cols)), messages)
+            # The plain object index over the same messages agrees too
+            # (both sides reduce to one oracle).
+            assert_coherent(Inbox(messages), messages)
+
+    def test_counting_queries_never_materialize(self):
+        # Sender sets, tallies, and surveys are counting passes over the
+        # columns; message objects exist only after someone iterates.
+        for seed in range(10):
+            rng = make_rng(seed, salt=21)
+            stream = random_stream(rng, 30)
+            cols = stage_stream(stream)
+            messages = expected_messages(stream)
+            box = Inbox(index=ColumnarIndex(cols))
+            # kind=None with concrete filters falls back to the object
+            # path, so the counting-only guarantee covers per-kind
+            # queries plus the unfiltered sender census.
+            assert box.senders() == naive_senders(messages)
+            for kind in KINDS:
+                for instance in QUERY_INSTANCES:
+                    expect = naive_senders(
+                        messages, kind, instance=instance
+                    )
+                    assert box.senders(kind, ..., instance) == expect
+            for kind in KINDS:
+                tallies = naive_tallies(messages, kind)
+                assert dict(box.index.payload_senders(kind, ...)) == {
+                    p: frozenset(s) for p, s in tallies.items()
+                }
+                assert box.best_payload(kind) == naive_best(
+                    messages, kind
+                )
+            assert box.index.instance_tags() == tuple(
+                dict.fromkeys(
+                    m.instance
+                    for m in messages
+                    if m.instance is not None
+                )
+            )
+            assert cols._materialized is None
+            # Full coherence afterwards: materializing later must agree
+            # with everything the counting passes already answered.
+            assert_coherent(box, messages)
+
+    def test_cross_form_duplicate_suppression(self):
+        # scalar-then-batch, batch-then-scalar, identical re-broadcast,
+        # and two overlapping batches must all match the object path.
+        streams = [
+            [
+                ("scalar", 1, "echo", "p", None),
+                ("batch", 1, "echo", ("p", "q"), None),
+            ],
+            [
+                ("batch", 1, "echo", ("p", "q"), None),
+                ("scalar", 1, "echo", "p", None),
+                ("scalar", 1, "echo", "r", None),
+            ],
+            [
+                ("batch", 2, "echo", ("a", "b"), "x"),
+                ("batch", 2, "echo", ("a", "b"), "x"),
+            ],
+            [
+                ("batch", 3, "echo", ("a", "b"), None),
+                ("batch", 3, "echo", ("b", "c"), None),
+                ("batch", 4, "echo", ("a", "b"), None),
+            ],
+            [
+                ("batch", 5, "echo", ("a", "a", "b"), None),
+            ],
+        ]
+        for stream in streams:
+            cols = stage_stream(stream)
+            messages = expected_messages(stream)
+            assert list(cols.materialize()) == messages
+            assert_coherent(Inbox(index=ColumnarIndex(cols)), messages)
+
+    def test_shared_payload_tuple_interns_one_batch(self):
+        # The quorum plane hands every node the same tuple object; the
+        # intern table must resolve them all to one canonical batch,
+        # by identity or by value.
+        plane = ColumnarPlane()
+        shared = (1, 2, 3)
+        first = plane.intern_batch("echo", shared, None)
+        assert plane.intern_batch("echo", shared, None) is first
+        assert plane.intern_batch("echo", (1, 2, 3), None) is first
+        cols = plane.new_round()
+        for sender in range(6):
+            cols.stage_batch(sender, first)
+        tally = cols.payload_tally("echo", ...)
+        assert tally == {
+            1: frozenset(range(6)),
+            2: frozenset(range(6)),
+            3: frozenset(range(6)),
+        }
+        # Homogeneous rounds share one sender frozenset across tags.
+        assert tally[1] is tally[2] is tally[3]
+
+    def test_join_round_backfill_layering(self):
+        # A joiner's direct extras layer over the shared columnar index
+        # (the engine's join-round back-fill path): the overlay must be
+        # indistinguishable from indexing broadcasts+extras flat.
+        for seed in range(10):
+            rng = make_rng(seed, salt=22)
+            stream = random_stream(rng, 25)
+            cols = stage_stream(stream)
+            messages = expected_messages(stream)
+            extras = tuple(random_messages(rng, rng.randrange(1, 8)))
+            shared = ColumnarIndex(cols)
+            merged = Inbox(index=InboxIndex.layered(shared, extras))
+            assert_coherent(merged, messages + list(extras))
+            # The shared view is untouched by the overlay.
+            assert_coherent(Inbox(index=shared), messages)

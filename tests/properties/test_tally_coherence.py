@@ -26,9 +26,13 @@ from repro.core.parallel_consensus import (
     KIND_PREFER,
     KIND_STRONGPREFER,
     ConsensusInstance,
+    ParallelConsensus,
 )
+from repro.sim.columnar import ColumnarIndex, ColumnarPlane
 from repro.sim.inbox import Inbox, InboxIndex
+from repro.sim.membership import MembershipSchedule
 from repro.sim.message import Message
+from repro.sim.network import SyncNetwork
 from repro.sim.rng import make_rng
 from repro.types import BOTTOM
 
@@ -253,3 +257,186 @@ class TestTallyCoherence:
         got = instance._count(Inbox(messages), KIND_PREFER, membership)
         assert got == expect
         assert got == (TWIN_A, 2)  # first-inserted wins the exact tie
+
+
+# ----------------------------------------------------------------------
+# Columnar round plane: _count over staged columns vs the object path.
+# ----------------------------------------------------------------------
+def random_columnar_stream(rng, size):
+    """A staging stream of tagged-instance traffic: scalar broadcasts,
+    batched fan-outs, and exact repeats, over the same pools as
+    :func:`random_messages` (twins and ``"__bottom__"`` included)."""
+    stream = []
+    while len(stream) < size:
+        sender = rng.choice(SENDERS)
+        kind = rng.choice(KINDS)
+        if rng.random() < 0.3:
+            payloads = tuple(
+                rng.choice(PAYLOADS)
+                for _ in range(rng.randrange(1, 5))
+            )
+            stream.append(("batch", sender, kind, payloads))
+        else:
+            stream.append(("scalar", sender, kind, rng.choice(PAYLOADS)))
+        if rng.random() < 0.2:
+            stream.append(rng.choice(stream))
+    return stream[:size]
+
+
+def stage_columnar(stream):
+    """Stage the stream into fresh columns and expand it for the oracle.
+
+    Returns ``(inbox, expanded)`` where the inbox rides a
+    :class:`ColumnarIndex` and ``expanded`` is the per-send message list
+    the object path would have staged (duplicates retained — the naive
+    oracle counts sender *sets*, and the votes-dict insertion order of
+    first occurrences is identical either way).
+    """
+    plane = ColumnarPlane()
+    cols = plane.new_round()
+    expanded = []
+    for entry in stream:
+        if entry[0] == "scalar":
+            _, sender, kind, payload = entry
+            cols.stage(sender, kind, payload, INSTANCE)
+            expanded.append(Message(sender, kind, payload, INSTANCE))
+        else:
+            _, sender, kind, payloads = entry
+            cols.stage_batch(
+                sender, plane.intern_batch(kind, payloads, INSTANCE)
+            )
+            expanded.extend(
+                Message(sender, kind, p, INSTANCE) for p in payloads
+            )
+    return Inbox(index=ColumnarIndex(cols)), expanded
+
+
+class TestColumnarTallyCoherence:
+    def test_count_over_columns_matches_naive_reference(self):
+        for seed in range(40):
+            rng = make_rng(seed, salt=14)
+            stream = random_columnar_stream(rng, rng.randrange(0, 50))
+            tagged, expanded = stage_columnar(stream)
+            membership = random_membership(rng)
+            instance = random_instance(rng)
+            assert_counts_coherent(instance, tagged, expanded, membership)
+
+    def test_shared_columnar_index_serves_divergent_nodes(self):
+        # The columnar hot path: one round's columns, many recipients.
+        # Every node layers its own deltas over the one shared tally.
+        for seed in range(10):
+            rng = make_rng(seed, salt=15)
+            stream = random_columnar_stream(rng, 40)
+            tagged, expanded = stage_columnar(stream)
+            index = tagged.index
+            memberships = [random_membership(rng) for _ in range(3)]
+            for node in range(6):
+                instance = random_instance(rng)
+                assert_counts_coherent(
+                    instance,
+                    Inbox(index=index),
+                    expanded,
+                    memberships[node % len(memberships)],
+                )
+
+    def test_exact_twin_tie_through_batched_staging(self):
+        # The twins arrive inside one batched fan-out; the tie must
+        # still fall to first staging order, exactly as scalar staging
+        # and the naive rebuild resolve it.
+        plane = ColumnarPlane()
+        cols = plane.new_round()
+        cols.stage_batch(
+            0, plane.intern_batch(KIND_PREFER, (TWIN_A, TWIN_B), INSTANCE)
+        )
+        cols.stage(1, KIND_PREFER, TWIN_A, INSTANCE)
+        cols.stage(2, KIND_PREFER, TWIN_B, INSTANCE)
+        expanded = [
+            Message(0, KIND_PREFER, TWIN_A, INSTANCE),
+            Message(0, KIND_PREFER, TWIN_B, INSTANCE),
+            Message(1, KIND_PREFER, TWIN_A, INSTANCE),
+            Message(2, KIND_PREFER, TWIN_B, INSTANCE),
+        ]
+        instance = ConsensusInstance(INSTANCE, start_round=3, value=BOTTOM)
+        instance.join_phase_fill = False
+        box = Inbox(index=ColumnarIndex(cols))
+        got = instance._count(box, KIND_PREFER, frozenset(range(3)))
+        expect = naive_count(
+            expanded, KIND_PREFER, frozenset(range(3)), False, {}
+        )
+        assert got == expect
+        assert got == (TWIN_A, 2)  # first-staged twin wins the tie
+
+    def test_columnar_network_replays_object_path_at_scale(self):
+        # End-to-end equivalence at n >= 500: the columnar plane must be
+        # observationally identical to the object path — same outputs,
+        # same round count, same send/delivery totals, same protocol
+        # trace.  Only node 0 inputs the pair ("b", 20), so 499 nodes
+        # join that instance through the join-round ⊥ back-fill, and the
+        # byzantine noise sender sits outside the frozen membership,
+        # exercising the restricted-membership tally path.
+        from repro.adversary import RandomNoiseStrategy
+
+        def build(columnar):
+            n = 500
+            net = SyncNetwork(seed=7, columnar=columnar)
+            for i in range(n):
+                inputs = {"a": 10}
+                if i == 0:
+                    inputs["b"] = 20  # 499 nodes join "b" via back-fill
+                net.add_correct(i, ParallelConsensus(inputs))
+            net.add_byzantine(n, RandomNoiseStrategy())
+            net.run(60)
+            return net
+
+        with_columns = build(columnar=True)
+        object_path = build(columnar=False)
+        assert with_columns.outputs() == object_path.outputs()
+        assert with_columns.round == object_path.round
+        assert (
+            with_columns.metrics.sends_total
+            == object_path.metrics.sends_total
+        )
+        assert (
+            with_columns.metrics.deliveries_total
+            == object_path.metrics.deliveries_total
+        )
+        assert list(with_columns.trace) == list(object_path.trace)
+        assert with_columns.outputs(), "the run must actually decide"
+
+    def test_columnar_join_backfill_matches_object_path_at_scale(self):
+        # Network-level join-round back-fill at n >= 500: a scheduled
+        # joiner (delivered the previous round's broadcasts through the
+        # extras layer over the shared columnar index) and a forced
+        # leave must leave every node's per-round sender view identical
+        # to the object path's.
+        from repro.sim.node import NodeApi, Protocol
+
+        class Beat(Protocol):
+            def __init__(self):
+                super().__init__()
+                self.heard_by_round = {}
+
+            def on_round(self, api: NodeApi, inbox: Inbox) -> None:
+                self.heard_by_round[api.round] = sorted(inbox.senders())
+                api.broadcast("beat", api.round)
+
+        def build(columnar):
+            n = 500
+            schedule = MembershipSchedule()
+            schedule.join(3, n, Beat)
+            schedule.leave(5, 1)
+            net = SyncNetwork(seed=2, membership=schedule, columnar=columnar)
+            for i in range(n):
+                net.add_correct(i, Beat())
+            net.run(6, until_all_halted=False)
+            return {
+                nid: state.protocol.heard_by_round
+                for nid, state in net._nodes.items()
+            }
+
+        with_columns = build(columnar=True)
+        object_path = build(columnar=False)
+        assert with_columns == object_path
+        joiner = with_columns[500]
+        assert min(joiner) == 3  # first active round
+        assert 1 not in with_columns[0][6]  # the forced leave took
