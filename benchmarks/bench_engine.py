@@ -14,7 +14,7 @@ interned-payload columns; inbox indexes and quorum tallies materialize
 lazily from them, which is what lets the protocol workloads run at
 n ∈ {1000, 5000, 10000}.
 
-Three workloads:
+Five workloads:
 
 * ``all-broadcast`` — one broadcast per node per round at
   n ∈ {50, 200, 800}: pure engine overhead, no inbox queries;
@@ -25,22 +25,35 @@ Three workloads:
 * ``parallel-consensus`` — a full all-correct :class:`ParallelConsensus`
   run over a few dozen instances at n up to 10000: per-instance vote
   bases derived once per round on the shared index, counted by every
-  node.
+  node;
+* ``sampled-consensus`` / ``sampled-parallel-consensus`` — the same
+  decisions reached by a Θ(log² n) committee with implicit outcome
+  adoption (:mod:`repro.core.implicit_agreement`): the full-broadcast
+  rows directly above them are the same-run baseline their
+  ``messages_per_decision`` is judged against.
 
-Each row reports rounds/sec and deliveries/sec (wall clock), staged
-entries vs deliveries per round (the allocation footprint vs the
-per-recipient engine), tracemalloc peak, and the engine's per-phase
-time split (deliver / correct / adversary / stage) from ``Metrics``.
-Tracemalloc roughly halves engine throughput, so rows at n >= 1000 run
-with it off by default (``peak_traced_kib`` is null there); pass
+Each row reports rounds/sec, *logical* deliveries/sec (staged entries ×
+recipients — the classical message-complexity figure, not work done),
+``materialized_messages`` (Message objects the columnar plane actually
+built — the honest work figure), staged entries vs logical deliveries
+per round, the decision economy (decisions, messages/decision), whether
+tracemalloc was on for the row, its peak, and the engine's per-phase
+time split from ``Metrics``.  Tracemalloc roughly halves engine
+throughput, so rows above ``TRACEMALLOC_MAX_N`` run with it off
+(``tracemalloc: false``, ``peak_traced_kib`` null) and only rows with
+the same ``tracemalloc`` flag are throughput-comparable; pass
 ``--no-tracemalloc`` to disable it everywhere.
 
 Results go to ``results/BENCH_engine.json`` (and a table in
 ``results/BENCH_engine.md``).  CI runs ``python benchmarks/bench_engine.py
 --sizes 50 --check results/BENCH_engine_baseline.json`` as a non-gating
-perf smoke over all three workloads: it fails only on a
+perf smoke over the workloads: it fails only on a
 >``PERF_SMOKE_MAX_SLOWDOWN``× rounds/sec regression against the
-committed baseline.
+committed baseline.  ``--check-economy`` additionally fails when a
+row's ``messages_per_decision`` exceeds the committed baseline's by
+more than ``ECONOMY_MAX_INCREASE``×; ``--agreement-seeds N`` reruns the
+sampled-vs-oracle agreement check (:mod:`repro.analysis.oracle`) over N
+seeds and records the verdict in the JSON.
 """
 
 from __future__ import annotations
@@ -52,7 +65,12 @@ import sys
 import time
 import tracemalloc
 
+from repro.core.committee import committee_size
 from repro.core.consensus import EarlyConsensus
+from repro.core.implicit_agreement import (
+    CommitteeConsensus,
+    CommitteeParallelConsensus,
+)
 from repro.core.parallel_consensus import ParallelConsensus
 from repro.sim.network import SyncNetwork
 from repro.sim.node import Inbox, NodeApi, Protocol
@@ -79,15 +97,29 @@ PARALLEL_INSTANCES = 24
 PARALLEL_MAX_N = 10000
 PARALLEL_ROUND_LIMIT = 400
 #: Tracemalloc roughly halves throughput and its peak is dominated by
-#: the (size-independent) interned columns anyway; rows at or above this
-#: population run untraced and report ``peak_traced_kib: null``.
-TRACEMALLOC_MAX_N = 800
+#: the (size-independent) interned columns anyway; rows above this
+#: population run untraced, report ``peak_traced_kib: null`` and
+#: ``tracemalloc: false``.  500 keeps the 800-row untraced so every
+#: n >= 800 row is throughput-comparable with the n >= 1000 ones
+#: (at 800 the traced row used to read ~3.5x slower than n=1000).
+TRACEMALLOC_MAX_N = 500
 #: CI perf-smoke tolerance: a run must stay within this factor of the
 #: committed baseline's rounds/sec at every shared (workload, n) pair.
 #: 2x absorbs shared-runner noise while still catching real order-of-
 #: magnitude regressions; re-baseline with ``--baseline-out`` whenever a
 #: deliberate engine change moves the numbers.
 PERF_SMOKE_MAX_SLOWDOWN = 2.0
+#: CI economy-smoke tolerance: ``messages_per_decision`` is a counted
+#: (deterministic) figure, so the allowance is thin — 1.1x catches any
+#: real fan-out regression in the sampled path.
+ECONOMY_MAX_INCREASE = 1.1
+#: The CI-smoke baseline additionally pins the sampled-consensus
+#: economy at this population (the satellite row next to n=50).
+ECONOMY_ANCHOR_N = 5000
+#: Population of the sampled-vs-oracle agreement sweep: big enough that
+#: the committee (~98 of 120) is a strict subset, small enough that
+#: 50+ paired runs stay in benchmark territory.
+AGREEMENT_POPULATION = 120
 
 
 class AllBroadcast(Protocol):
@@ -111,17 +143,26 @@ def _run_and_measure(net: SyncNetwork, run, trace: bool = True) -> dict:
     metrics = net.metrics
     staged_per_round = metrics.staged_total / metrics.rounds
     deliveries_per_round = metrics.deliveries_total / metrics.rounds
-    return {
+    row = {
         "rounds": metrics.rounds,
         "rounds_per_sec": round(metrics.rounds / elapsed, 2),
-        "deliveries_per_sec": round(metrics.deliveries_total / elapsed),
+        # Logical deliveries = staged entries × recipients — the
+        # classical message-complexity figure.  On the columnar path
+        # nothing per-recipient is allocated for them; the honest
+        # work-done figure is materialized_messages below.
+        "logical_deliveries_per_sec": round(
+            metrics.deliveries_total / elapsed
+        ),
+        "materialized_messages": metrics.materialized_messages,
         "staged_entries_per_round": round(staged_per_round, 1),
-        "deliveries_per_round": round(deliveries_per_round, 1),
+        "logical_deliveries_per_round": round(deliveries_per_round, 1),
         # The per-recipient engine staged one tuple per delivery; the
         # shared-queue engine stages one entry per logical send.
         "alloc_reduction_vs_per_recipient": round(
             deliveries_per_round / staged_per_round, 1
         ),
+        "sends_total": metrics.sends_total,
+        "tracemalloc": trace,
         "peak_traced_kib": None if peak is None else round(peak / 1024),
         "engine_time_by_phase": {
             phase: round(seconds, 4)
@@ -130,6 +171,12 @@ def _run_and_measure(net: SyncNetwork, run, trace: bool = True) -> dict:
             )
         },
     }
+    if metrics.decisions:
+        row["decisions"] = metrics.decisions
+        row["messages_per_decision"] = round(
+            metrics.messages_per_decision, 2
+        )
+    return row
 
 
 def _trace_for(n: int, tracing: bool) -> bool:
@@ -204,11 +251,82 @@ def measure_parallel(n: int, seed: int = 1, tracing: bool = True) -> dict:
     }
 
 
-#: workload name -> (measure function, size cap).
+def measure_sampled_consensus(
+    n: int, seed: int = 1, tracing: bool = True
+) -> dict:
+    """The committee-sampled variant of the ``consensus`` workload.
+
+    Same population, same split 0/1 inputs, same seed — but only the
+    Θ(log² n) committee runs Algorithm 3; everyone else broadcasts one
+    ``hello``, then idles until the implicit-agreement quorum of
+    ``decision`` announcements arrives.  ``messages_per_decision`` on
+    this row vs the full-broadcast ``consensus`` row at the same n is
+    the whole point of the variant.
+    """
+    net = SyncNetwork(seed=seed, clock=time.perf_counter)
+    for index in range(n):
+        net.add_correct(
+            1000 + index,
+            CommitteeConsensus(index % 2, sampling_seed=seed),
+        )
+    row = _run_and_measure(
+        net,
+        lambda network: network.run(CONSENSUS_ROUND_LIMIT),
+        trace=_trace_for(n, tracing),
+    )
+    outputs = set(net.outputs().values())
+    assert len(outputs) == 1, "sampled-consensus workload failed to agree"
+    return {
+        "n": n,
+        "committee": committee_size(n),
+        "decision": outputs.pop(),
+        **row,
+    }
+
+
+def measure_sampled_parallel(
+    n: int, seed: int = 1, tracing: bool = True
+) -> dict:
+    """The committee-sampled variant of ``parallel-consensus``.
+
+    Every node holds the same input pairs (the phase-alignment shape);
+    committee members submit them to a fixed-membership machine and
+    broadcast the sorted output tuple once, everyone else adopts it.
+    """
+    net = SyncNetwork(seed=seed, clock=time.perf_counter)
+    inputs = {f"id{k:02d}": k % 2 for k in range(PARALLEL_INSTANCES)}
+    for index in range(n):
+        net.add_correct(
+            1000 + index,
+            CommitteeParallelConsensus(inputs, sampling_seed=seed),
+        )
+    row = _run_and_measure(
+        net,
+        lambda network: network.run(PARALLEL_ROUND_LIMIT),
+        trace=_trace_for(n, tracing),
+    )
+    outputs = set(net.outputs().values())
+    assert len(outputs) == 1, (
+        "sampled-parallel-consensus workload failed to agree"
+    )
+    return {
+        "n": n,
+        "committee": committee_size(n),
+        "instances": PARALLEL_INSTANCES,
+        "decided_pairs": len(outputs.pop()),
+        **row,
+    }
+
+
+#: workload name -> (measure function, size cap).  The sampled variants
+#: sit right after their full-broadcast baselines so the table reads as
+#: paired rows.
 WORKLOADS = {
     "all-broadcast": (measure_engine, ENGINE_MAX_N),
     "consensus": (measure_consensus, CONSENSUS_MAX_N),
+    "sampled-consensus": (measure_sampled_consensus, CONSENSUS_MAX_N),
     "parallel-consensus": (measure_parallel, PARALLEL_MAX_N),
+    "sampled-parallel-consensus": (measure_sampled_parallel, PARALLEL_MAX_N),
 }
 
 
@@ -245,10 +363,15 @@ def write_outputs(payload: dict, out: pathlib.Path) -> None:
                 "n": row["n"],
                 "rounds": row["rounds"],
                 "rounds/s": row["rounds_per_sec"],
-                "deliveries/s": row["deliveries_per_sec"],
+                # Logical deliveries (staged × recipients): the message-
+                # complexity figure.  Work actually done on the columnar
+                # path is the materialized column.
+                "logical deliv/s": row["logical_deliveries_per_sec"],
+                "materialized": row["materialized_messages"],
                 "staged/round": row["staged_entries_per_round"],
-                "deliv/round": row["deliveries_per_round"],
                 "alloc reduction": f"{row['alloc_reduction_vs_per_recipient']}x",
+                "msgs/decision": row.get("messages_per_decision", "-"),
+                "tracemalloc": "on" if row["tracemalloc"] else "off",
                 "peak KiB": (
                     "-"
                     if row["peak_traced_kib"] is None
@@ -258,23 +381,38 @@ def write_outputs(payload: dict, out: pathlib.Path) -> None:
             for entry in payload["workloads"]
             for row in entry["results"]
         ],
-        title="Engine hot path: all-broadcast drain and full consensus "
-        "runs (staged/round stays at n; recipients of a round's "
-        "broadcasts share one inbox index)",
+        title="Engine hot path: all-broadcast drain, full consensus "
+        "runs, and their committee-sampled variants (staged/round stays "
+        "at n; recipients of a round's broadcasts share one inbox "
+        "index; rows are throughput-comparable only within one "
+        "tracemalloc setting)",
     )
 
 
 def baseline_subset(payload: dict, n: int = 50) -> dict:
-    """The CI-smoke baseline: the size-*n* row of every workload.
+    """The CI-smoke baseline: the size-*n* row of every workload, plus
+    the sampled-consensus economy anchor at ``ECONOMY_ANCHOR_N``.
 
     Writing the baseline from the same run (and machine) as the full
     results keeps the committed numbers mutually comparable.
     """
+
+    def keep(workload: str, row: dict) -> bool:
+        if row["n"] == n:
+            return True
+        return (
+            workload == "sampled-consensus" and row["n"] == ECONOMY_ANCHOR_N
+        )
+
     return {
         "workloads": [
             {
                 "workload": entry["workload"],
-                "results": [r for r in entry["results"] if r["n"] == n],
+                "results": [
+                    r
+                    for r in entry["results"]
+                    if keep(entry["workload"], r)
+                ],
             }
             for entry in payload["workloads"]
         ],
@@ -309,6 +447,66 @@ def check_against_baseline(payload: dict, baseline_path: pathlib.Path) -> int:
     return status
 
 
+def check_economy_against_baseline(
+    payload: dict, baseline_path: pathlib.Path
+) -> int:
+    """Exit status 1 when ``messages_per_decision`` grew by more than
+    ``ECONOMY_MAX_INCREASE``x at any shared (workload, n) pair.
+
+    Unlike rounds/sec this is a deterministic counted figure, so the
+    check is meaningful even on noisy shared runners.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    base_by_key = {
+        (entry["workload"], row["n"]): row
+        for entry in baseline["workloads"]
+        for row in entry["results"]
+    }
+    status = 0
+    for entry in payload["workloads"]:
+        for row in entry["results"]:
+            base = base_by_key.get((entry["workload"], row["n"]))
+            if base is None:
+                continue
+            current = row.get("messages_per_decision")
+            committed = base.get("messages_per_decision")
+            if current is None or committed is None:
+                continue
+            ratio = current / committed
+            ok = ratio <= ECONOMY_MAX_INCREASE
+            verdict = "ok" if ok else "ECONOMY REGRESSION"
+            print(
+                f"{entry['workload']} n={row['n']}: "
+                f"{current} msgs/decision vs baseline {committed} "
+                f"(x{ratio:.3f}) {verdict}"
+            )
+            if not ok:
+                status = 1
+    return status
+
+
+def run_agreement_sweep(seeds: int) -> dict:
+    """The sampled-vs-oracle agreement check over *seeds* seeds.
+
+    Delegates to :func:`repro.analysis.oracle.check_sampled_agreement`
+    (the same helper the integration tests pin) at
+    ``AGREEMENT_POPULATION`` nodes and returns its summary block for
+    the results JSON.
+    """
+    from repro.analysis.oracle import check_sampled_agreement
+
+    report = check_sampled_agreement(
+        population=AGREEMENT_POPULATION, seeds=seeds
+    )
+    summary = report.summary()
+    print(
+        f"agreement sweep: sampled == oracle on "
+        f"{summary['seeds_checked']} seeds at n={summary['population']}: "
+        f"{'OK' if summary['all_agree'] else summary['disagreements']}"
+    )
+    return summary
+
+
 def test_engine_hot_path(benchmark):
     payload = build_results(sizes=(50, 200))
     write_outputs(payload, RESULTS_DIR / "BENCH_engine.json")
@@ -330,6 +528,22 @@ def test_engine_hot_path(benchmark):
         # with an output, and every node with the same pair set.
         assert row["rounds"] < PARALLEL_ROUND_LIMIT
         assert row["decided_pairs"] == PARALLEL_INSTANCES
+    full = {row["n"]: row for row in by_name["consensus"]}
+    for row in by_name["sampled-consensus"]:
+        assert row["rounds"] < CONSENSUS_ROUND_LIMIT
+        assert row["decision"] in (0, 1)
+        assert row["decisions"] == row["n"]
+        # At n=200 the committee (128) is a strict subset, so the
+        # sampled run must already be cheaper per decision.
+        if row["committee"] < row["n"]:
+            assert (
+                row["messages_per_decision"]
+                < full[row["n"]]["messages_per_decision"]
+            )
+    for row in by_name["sampled-parallel-consensus"]:
+        assert row["rounds"] < PARALLEL_ROUND_LIMIT
+        assert row["decided_pairs"] == PARALLEL_INSTANCES
+        assert row["decisions"] == row["n"]
     benchmark.pedantic(
         lambda: measure_engine(50, rounds=20), rounds=3, iterations=1
     )
@@ -372,20 +586,45 @@ def main(argv=None) -> int:
         default=tuple(WORKLOADS),
         help="restrict to a subset of workloads (default: all)",
     )
+    parser.add_argument(
+        "--check-economy",
+        type=pathlib.Path,
+        default=None,
+        help="baseline JSON to compare messages_per_decision against "
+        "(fails on a >%.1fx increase)" % ECONOMY_MAX_INCREASE,
+    )
+    parser.add_argument(
+        "--agreement-seeds",
+        type=int,
+        default=0,
+        help="also run the sampled-vs-oracle agreement check over this "
+        "many seeds at n=%d and record it in the JSON (fails on any "
+        "disagreement)" % AGREEMENT_POPULATION,
+    )
     args = parser.parse_args(argv)
     payload = build_results(
         sizes=tuple(args.sizes),
         tracing=not args.no_tracemalloc,
         workloads=tuple(args.workloads),
     )
+    status = 0
+    if args.agreement_seeds:
+        payload["agreement"] = run_agreement_sweep(args.agreement_seeds)
+        if not payload["agreement"]["all_agree"]:
+            status = 1
     write_outputs(payload, args.out)
     if args.baseline_out is not None:
         args.baseline_out.write_text(
             json.dumps(baseline_subset(payload), indent=2) + "\n"
         )
     if args.check is not None:
-        return check_against_baseline(payload, args.check)
-    return 0
+        status = check_against_baseline(payload, args.check) or status
+    if args.check_economy is not None:
+        status = (
+            check_economy_against_baseline(payload, args.check_economy)
+            or status
+        )
+    return status
 
 
 if __name__ == "__main__":

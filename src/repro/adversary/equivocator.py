@@ -42,6 +42,13 @@ class EquivocatorStrategy(ProtocolWrappingStrategy):
     ``kinds`` restricts equivocation to specific message kinds (e.g. only
     ``input``/``prefer``); by default every payload-carrying broadcast is
     split.
+
+    ``targets`` narrows the *victims*: only the targeted ids are split
+    between the two stories (everyone else gets the clean payload).
+    Aiming the split at a known committee (see
+    :func:`repro.core.committee.sample_committee`) is the sharpest
+    attack on the sampled variants — confusing the c deciders matters,
+    confusing bystanders does not.
     """
 
     def __init__(
@@ -49,10 +56,12 @@ class EquivocatorStrategy(ProtocolWrappingStrategy):
         protocol: Protocol,
         kinds: frozenset[str] | None = None,
         mutate: Callable[[Hashable], Hashable] = _default_mutate,
+        targets: frozenset | None = None,
     ):
         super().__init__(protocol)
         self._kinds = kinds
         self._mutate = mutate
+        self._targets = targets
 
     def _should_split(self, send: Send) -> bool:
         if send.payload is None:
@@ -64,9 +73,14 @@ class EquivocatorStrategy(ProtocolWrappingStrategy):
     def transform(
         self, sends: list[Send], view: AdversaryView
     ) -> Iterable[Send]:
-        ordered = sorted(view.all_nodes)
-        half = len(ordered) // 2
-        lower, upper = ordered[:half], ordered[half:]
+        everyone = sorted(view.all_nodes)
+        if self._targets is None:
+            victims, bystanders = everyone, []
+        else:
+            victims = sorted(self._targets & view.all_nodes)
+            bystanders = [nid for nid in everyone if nid not in self._targets]
+        half = len(victims) // 2
+        lower, upper = victims[:half], victims[half:]
         result: list[Send] = []
         for send in sends:
             if not self._should_split(send):
@@ -77,4 +91,6 @@ class EquivocatorStrategy(ProtocolWrappingStrategy):
             )
             result.extend(self.explode_broadcast(send, lower))
             result.extend(self.explode_broadcast(twisted, upper))
+            if bystanders:
+                result.extend(self.explode_broadcast(send, bystanders))
         return result

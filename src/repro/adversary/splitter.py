@@ -27,7 +27,12 @@ OPINION_KINDS: frozenset[str] = frozenset(
 
 
 class QuorumSplitterStrategy(ProtocolWrappingStrategy):
-    """Split every opinion message between ``value_a`` and ``value_b``."""
+    """Split every opinion message between ``value_a`` and ``value_b``.
+
+    ``targets`` narrows the split to specific ids (a sampled committee,
+    say); non-targets uniformly receive ``value_a`` so the attacker
+    still looks single-voiced to bystanders.
+    """
 
     def __init__(
         self,
@@ -35,18 +40,25 @@ class QuorumSplitterStrategy(ProtocolWrappingStrategy):
         value_a: Hashable = 0,
         value_b: Hashable = 1,
         kinds: frozenset[str] = OPINION_KINDS,
+        targets: frozenset | None = None,
     ):
         super().__init__(protocol)
         self._value_a = value_a
         self._value_b = value_b
         self._kinds = kinds
+        self._targets = targets
 
     def transform(
         self, sends: list[Send], view: AdversaryView
     ) -> Iterable[Send]:
-        ordered = sorted(view.all_nodes)
-        half = len(ordered) // 2
-        lower, upper = ordered[:half], ordered[half:]
+        everyone = sorted(view.all_nodes)
+        if self._targets is None:
+            victims, bystanders = everyone, []
+        else:
+            victims = sorted(self._targets & view.all_nodes)
+            bystanders = [nid for nid in everyone if nid not in self._targets]
+        half = len(victims) // 2
+        lower, upper = victims[:half], victims[half:]
         result: list[Send] = []
         for send in sends:
             if send.kind not in self._kinds:
@@ -56,6 +68,8 @@ class QuorumSplitterStrategy(ProtocolWrappingStrategy):
             side_b = Send(send.dest, send.kind, self._value_b, send.instance)
             result.extend(self.explode_broadcast(side_a, lower))
             result.extend(self.explode_broadcast(side_b, upper))
+            if bystanders:
+                result.extend(self.explode_broadcast(side_a, bystanders))
         return result
 
 

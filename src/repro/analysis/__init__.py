@@ -29,6 +29,12 @@ from repro.analysis.monitor import (
     RelayMonitor,
     TraceMonitor,
 )
+from repro.analysis.oracle import (
+    OracleReport,
+    OracleVerdict,
+    check_sampled_agreement,
+    compare_with_oracle,
+)
 from repro.analysis.report import format_table
 from repro.analysis.timeline import render_timeline
 
@@ -36,6 +42,8 @@ __all__ = [
     "AgreementMonitor",
     "BoundMonitor",
     "CheckReport",
+    "OracleReport",
+    "OracleVerdict",
     "RelayMonitor",
     "RunStats",
     "SweepResult",
@@ -46,8 +54,10 @@ __all__ = [
     "check_parallel_outputs",
     "check_reliable_broadcast",
     "check_rotor_good_round",
+    "check_sampled_agreement",
     "check_validity",
     "classify_growth",
+    "compare_with_oracle",
     "fit_line",
     "format_table",
     "render_timeline",

@@ -1,0 +1,185 @@
+"""Oracle checks: sampled consensus must match full-broadcast consensus.
+
+The committee-sampled variants (:mod:`repro.core.implicit_agreement`)
+trade the all-broadcast O(n²) traffic for a polylog committee plus an
+outcome-dissemination phase.  That is only an *optimisation* if, on the
+same population and the same seed, every correct node ends up with the
+decision the classical protocol would have produced.  This module runs
+both side by side — the full-broadcast :class:`~repro.core.EarlyConsensus`
+as the oracle, :class:`~repro.core.CommitteeConsensus` as the candidate —
+under a live :class:`~repro.analysis.monitor.AgreementMonitor`, and
+reports per-seed verdicts.
+
+Outcome equality is only a theorem when validity pins the outcome —
+hence the :func:`supermajority_inputs` default (see its docstring).
+Under a near-even split both values are valid and the two protocols may
+legitimately resolve differently; that regime is still covered by each
+run's *internal* agreement monitor, just not by cross-run equality.
+
+The benchmark harness (``benchmarks/bench_engine.py --agreement-seeds``)
+and the integration tests both go through :func:`check_sampled_agreement`
+so "sampled agrees with the oracle on >= 50 seeds" is one shared,
+committed check rather than two drifting ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence
+
+from repro.analysis.monitor import AgreementMonitor
+from repro.core.consensus import EarlyConsensus
+from repro.core.implicit_agreement import CommitteeConsensus
+from repro.obs.bus import EventBus
+from repro.sim.runner import Scenario, run_scenario
+from repro.types import NodeId
+
+
+def alternating_inputs(nid: NodeId, index: int) -> Hashable:
+    """A worst-case near-even binary split.
+
+    Useful for *internal* agreement checks, but not for oracle
+    comparison: with no supermajority, both 0 and 1 are valid outcomes
+    and the full-broadcast and committee runs — different executions
+    over different memberships — may legitimately resolve differently.
+    """
+    return index % 2
+
+
+def supermajority_inputs(nid: NodeId, index: int) -> Hashable:
+    """Default input assignment: a 7:1 biased binary split.
+
+    When ≥ 2/3 of a (sub)population holds the same input, Algorithm 3
+    terminates on it in its first phase — validity pins the outcome, so
+    the oracle and the sampled run *must* produce the same value and
+    comparing them is meaningful.  The 7:1 margin keeps the sampled
+    committee's own majority fraction above 2/3 with overwhelming
+    probability (≈ 6σ at c ≈ 100), and the run still exercises both
+    values on the wire.
+    """
+    return 0 if index % 8 else 1
+
+
+@dataclass(slots=True)
+class OracleVerdict:
+    """One seed's comparison between sampled and full-broadcast runs."""
+
+    seed: int
+    oracle_outcome: Hashable
+    sampled_outcome: Hashable
+    sampled_rounds: int
+    oracle_sends: int
+    sampled_sends: int
+
+    @property
+    def agree(self) -> bool:
+        return self.sampled_outcome == self.oracle_outcome
+
+
+@dataclass(slots=True)
+class OracleReport:
+    """Aggregate of :func:`check_sampled_agreement` over many seeds."""
+
+    population: int
+    verdicts: tuple[OracleVerdict, ...]
+
+    @property
+    def seeds_checked(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def disagreements(self) -> tuple[OracleVerdict, ...]:
+        return tuple(v for v in self.verdicts if not v.agree)
+
+    @property
+    def all_agree(self) -> bool:
+        return not self.disagreements
+
+    def summary(self) -> dict:
+        return {
+            "population": self.population,
+            "seeds_checked": self.seeds_checked,
+            "all_agree": self.all_agree,
+            "disagreements": [v.seed for v in self.disagreements],
+        }
+
+
+def _single_outcome(outputs: dict) -> Hashable:
+    values = set(outputs.values())
+    if len(values) != 1:  # pragma: no cover - monitor raises first
+        raise AssertionError(f"run did not agree internally: {values!r}")
+    return values.pop()
+
+
+def compare_with_oracle(
+    population: int,
+    seed: int,
+    *,
+    inputs: Callable[[NodeId, int], Hashable] = supermajority_inputs,
+    max_rounds: int = 200,
+) -> OracleVerdict:
+    """Run oracle and sampled consensus on one (population, seed) pair.
+
+    Both runs share the population size, the seed (so id assignment and
+    all protocol randomness line up), and the input assignment; the
+    sampled run additionally keys its committee off the same seed.  An
+    :class:`AgreementMonitor` rides each run, so internal disagreement
+    raises immediately with the offending round in the traceback.
+    """
+    oracle_bus = EventBus()
+    AgreementMonitor().attach(oracle_bus)
+    oracle = run_scenario(
+        Scenario(
+            correct=population,
+            protocol_factory=lambda nid, index: EarlyConsensus(
+                inputs(nid, index)
+            ),
+            seed=seed,
+            max_rounds=max_rounds,
+        ),
+        bus=oracle_bus,
+    )
+    sampled_bus = EventBus()
+    AgreementMonitor().attach(sampled_bus)
+    sampled = run_scenario(
+        Scenario(
+            correct=population,
+            protocol_factory=lambda nid, index: CommitteeConsensus(
+                inputs(nid, index), sampling_seed=seed
+            ),
+            seed=seed,
+            max_rounds=max_rounds,
+        ),
+        bus=sampled_bus,
+    )
+    return OracleVerdict(
+        seed=seed,
+        oracle_outcome=_single_outcome(oracle.outputs),
+        sampled_outcome=_single_outcome(sampled.outputs),
+        sampled_rounds=sampled.rounds,
+        oracle_sends=oracle.metrics.sends_total,
+        sampled_sends=sampled.metrics.sends_total,
+    )
+
+
+def check_sampled_agreement(
+    population: int = 120,
+    seeds: Sequence[int] | int = 50,
+    *,
+    inputs: Callable[[NodeId, int], Hashable] = supermajority_inputs,
+    max_rounds: int = 200,
+) -> OracleReport:
+    """Compare sampled vs oracle outcomes over many seeds.
+
+    ``seeds`` may be an explicit sequence or a count (``range(count)``).
+    Returns an :class:`OracleReport`; callers assert ``all_agree``.
+    """
+    if isinstance(seeds, int):
+        seeds = range(seeds)
+    verdicts = tuple(
+        compare_with_oracle(
+            population, seed, inputs=inputs, max_rounds=max_rounds
+        )
+        for seed in seeds
+    )
+    return OracleReport(population=population, verdicts=verdicts)

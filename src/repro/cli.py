@@ -25,6 +25,8 @@ from repro.core import (
     ApproximateAgreement,
     BinaryKingConsensus,
     ByzantineRenaming,
+    CommitteeConsensus,
+    CommitteeParallelConsensus,
     EarlyConsensus,
     InteractiveConsistency,
     ParallelConsensus,
@@ -44,9 +46,25 @@ PROTOCOLS = (
     "trb",
 )
 
+#: Protocols with a committee-sampled variant (``--variant sampled``).
+SAMPLED_PROTOCOLS = ("consensus", "parallel")
 
-def _protocol_factory(name: str):
+
+def _protocol_factory(name: str, variant: str = "full", seed: int = 0):
     """(node_id, index) -> protocol, with index-derived inputs."""
+    if variant == "sampled":
+        if name == "consensus":
+            return lambda nid, i: CommitteeConsensus(
+                i % 2, sampling_seed=seed
+            )
+        if name == "parallel":
+            return lambda nid, i: CommitteeParallelConsensus(
+                {"k": i % 2}, sampling_seed=seed
+            )
+        raise SystemExit(
+            f"--variant sampled supports {SAMPLED_PROTOCOLS}, "
+            f"not {name!r}"
+        )
     if name == "consensus":
         return lambda nid, i: EarlyConsensus(i % 2)
     if name == "binary-consensus":
@@ -77,23 +95,25 @@ def _protocol_factory(name: str):
     raise SystemExit(f"unknown protocol {name!r}; choose from {PROTOCOLS}")
 
 
-def _wrapped_factory(name: str):
+def _wrapped_factory(name: str, variant: str = "full", seed: int = 0):
     """Zero-arg honest-protocol factory for wrapping strategies."""
-    inner = _protocol_factory(name)
+    inner = _protocol_factory(name, variant, seed)
     return lambda: inner(0, 0)
 
 
 def _build_scenario(args, f_override: int | None = None, seed: int = 0):
     byzantine = args.f if f_override is None else f_override
+    variant = getattr(args, "variant", "full")
     strategy = None
     if byzantine:
         strategy = build_strategy(
-            args.adversary, protocol_factory=_wrapped_factory(args.protocol)
+            args.adversary,
+            protocol_factory=_wrapped_factory(args.protocol, variant, seed),
         )
     return Scenario(
         correct=args.n - byzantine,
         byzantine=byzantine,
-        protocol_factory=_protocol_factory(args.protocol),
+        protocol_factory=_protocol_factory(args.protocol, variant, seed),
         strategy_factory=strategy,
         seed=seed,
         rushing=args.rushing,
@@ -116,10 +136,20 @@ def cmd_run(args) -> int:
     finally:
         if sink is not None:
             sink.close()
-    print(f"protocol : {args.protocol}")
+    variant = getattr(args, "variant", "full")
+    label = args.protocol if variant == "full" else (
+        f"{args.protocol} (sampled)"
+    )
+    print(f"protocol : {label}")
     print(f"n={args.n} f={args.f} adversary={args.adversary} seed={args.seed}")
     print(f"rounds   : {result.rounds}")
     print(f"messages : {result.metrics.sends_total}")
+    if result.metrics.decisions:
+        print(
+            "economy  : "
+            f"{result.metrics.messages_per_decision:.2f} msgs/decision "
+            f"over {result.metrics.decisions} decisions"
+        )
     print(f"outputs  : {result.outputs}")
     report = check_agreement(result)
     print(f"agreement: {'OK' if report.ok else report.violations}")
@@ -166,9 +196,14 @@ def cmd_matrix(args) -> int:
             scenario = Scenario(
                 correct=args.n - args.f,
                 byzantine=args.f,
-                protocol_factory=_protocol_factory(args.protocol),
+                protocol_factory=_protocol_factory(
+                    args.protocol, getattr(args, "variant", "full"), seed
+                ),
                 strategy_factory=build_strategy(
-                    name, protocol_factory=_wrapped_factory(args.protocol)
+                    name,
+                    protocol_factory=_wrapped_factory(
+                        args.protocol, getattr(args, "variant", "full"), seed
+                    ),
                 ),
                 seed=seed,
                 rushing=True,
@@ -268,6 +303,14 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--rushing", action="store_true")
         p.add_argument("--max-rounds", type=int, default=500)
+        p.add_argument(
+            "--variant",
+            choices=("full", "sampled"),
+            default="full",
+            help="'sampled' runs the committee-sampled variant "
+            "(consensus/parallel only): a polylog committee decides, "
+            "everyone else adopts via implicit agreement",
+        )
         p.add_argument(
             "--force",
             action="store_true",

@@ -46,6 +46,11 @@ from repro.core.approx_agreement import (
     IteratedApproximateAgreement,
     trim_and_midpoint,
 )
+from repro.core.committee import committee_size, sample_committee
+from repro.core.implicit_agreement import (
+    CommitteeConsensus,
+    CommitteeParallelConsensus,
+)
 from repro.core.interactive_consistency import InteractiveConsistency
 from repro.core.parallel_consensus import ParallelConsensus
 from repro.core.replicated_store import ReplicatedKVStore
@@ -58,6 +63,8 @@ __all__ = [
     "ApproximateAgreement",
     "BinaryKingConsensus",
     "ByzantineRenaming",
+    "CommitteeConsensus",
+    "CommitteeParallelConsensus",
     "ContinuousApproximateAgreement",
     "EarlyConsensus",
     "EchoVoting",
@@ -74,6 +81,8 @@ __all__ = [
     "ViewTracker",
     "at_least_third",
     "at_least_two_thirds",
+    "committee_size",
     "less_than_third",
+    "sample_committee",
     "trim_and_midpoint",
 ]

@@ -115,6 +115,17 @@ class EarlyConsensus(Protocol):
         inbox = self._restricted(inbox)
         self.rotor.absorb(inbox)
         phase_round = (api.round - INIT_ROUNDS - 1) % PHASE_LENGTH + 1
+        self._run_phase_round(api, inbox, phase_round)
+
+    def _run_phase_round(
+        self, api: NodeApi, inbox: Inbox, phase_round: int
+    ) -> None:
+        """One Algorithm-3 phase round over an already-restricted inbox.
+
+        Shared with the committee-sampled variant, whose initialization
+        takes one extra round and therefore maps rounds to phase rounds
+        with a different offset.
+        """
         if phase_round == 1:
             self.phase += 1
             self._broadcast_input(api)

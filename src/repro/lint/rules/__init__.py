@@ -17,6 +17,7 @@ from repro.lint.rules.determinism import (
 )
 from repro.lint.rules.hygiene import (
     ColumnarInternalsAccess,
+    CommitteeInternalsAccess,
     InboxInternalsAccess,
     OutboxInProtocol,
     PrivateApiAccess,
@@ -59,6 +60,7 @@ def all_rules() -> list[Rule]:
         SenderStamping(),
         InboxInternalsAccess(),
         ColumnarInternalsAccess(),
+        CommitteeInternalsAccess(),
         EventPlaneBypass(),
     ]
 

@@ -67,6 +67,23 @@ COLUMNAR_PRIVATE_ATTRS = frozenset(
 #: to protocols when reached through an inbox's index.
 COLUMNAR_VIEW_ATTRS = frozenset({"columns", "plane"})
 
+#: Committee-dissemination internals (src/repro/core/implicit_agreement
+#: .py).  ``_gossip`` is a protocol's private OutcomeGossip state and
+#: the vote tables inside it are cumulative per-node folds; other
+#: protocol code that read or wrote them would couple itself to the
+#: dissemination bookkeeping (and could fake an adoption quorum).  Only
+#: the defining module touches these.
+COMMITTEE_PRIVATE_ATTRS = frozenset(
+    {
+        "_gossip",
+        "_size_override",
+        "decision_votes",
+        "outcome_votes",
+        "linger_left",
+        "last_query",
+    }
+)
+
 
 class OutboxInProtocol(Rule):
     """R401: protocols never import or construct an Outbox."""
@@ -245,4 +262,38 @@ class ColumnarInternalsAccess(Rule):
                     f"'.index.{node.attr}' exposes the raw column "
                     "store behind the shared per-round index",
                     hint="use the Inbox query methods",
+                )
+
+
+class CommitteeInternalsAccess(Rule):
+    """R406: committee dissemination state stays in its own module."""
+
+    code = "R406"
+    name = "committee-internals-access"
+    description = (
+        "protocol code outside core/implicit_agreement.py may not touch "
+        "the sampled variants' dissemination internals (_gossip, "
+        "_size_override, or the OutcomeGossip vote tables); adoption "
+        "goes through the decision/outcome message quorums, never by "
+        "reading another protocol object's bookkeeping"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_layer(*PROTOCOL_LAYERS) and not ctx.is_module(
+            "core/implicit_agreement.py"
+        )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in COMMITTEE_PRIVATE_ATTRS
+            ):
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"'.{node.attr}' is committee-dissemination state "
+                    "private to core/implicit_agreement.py",
+                    hint="adopt outcomes via the decision/outcome "
+                    "message quorums",
                 )

@@ -189,19 +189,53 @@ class MessageBatchSent:
 
 @dataclass(slots=True)
 class PlaneStats:
-    """Cumulative columnar-plane interning counters for one run.
+    """Cumulative columnar-plane counters for one run.
 
     Emitted by the sync engine at each round end when the columnar
     plane is active, carrying run-cumulative values (last one wins).
-    Process-local observability — not part of the JSONL vocabulary
-    (the sink skips it) and not in :data:`EVENT_TYPES`.
+    When the plane is *inactive* — a subclass overrode delivery
+    filtering, or the engine was built with ``columnar=False`` — one
+    event with ``columnar=False`` and the downgrade ``fallback`` reason
+    is emitted at the first round end instead, so subscribers can tell
+    "object path" from "no stats yet".  ``materialized_messages``
+    counts Message objects the plane actually built (at most once per
+    round, only when somebody iterated); the gap to the logical
+    delivery count is the columnar path's saving.  Process-local
+    observability — not part of the JSONL vocabulary (the sink skips
+    it) and not in :data:`EVENT_TYPES`.
     """
 
     round: Round
     payload_intern_hits: int
     unique_payloads: int
+    columnar: bool = True
+    fallback: str | None = None
+    materialized_messages: int = 0
 
     topic: ClassVar[str] = "plane-stats"
+
+
+@dataclass(slots=True)
+class DecisionEconomy:
+    """Message economy of one finished run: what each decision cost.
+
+    Emitted once by the sync engine at the end of ``run()``, after the
+    last round.  ``decisions`` counts correct nodes that halted with an
+    output; the per-decision ratios divide the run totals by it (zero
+    decisions leaves them at 0.0 rather than dividing).  The sampled
+    consensus variants exist to shrink ``messages_per_decision``; the
+    benchmark harness compares this event against committed baselines.
+    Process-local — not in :data:`EVENT_TYPES`.
+    """
+
+    rounds: Round
+    decisions: int
+    sends_total: int
+    bytes_total: int
+    messages_per_decision: float
+    bytes_per_decision: float
+
+    topic: ClassVar[str] = "decision-economy"
 
 
 @dataclass(slots=True)

@@ -109,8 +109,8 @@ class JsonlSink:
                 self._fh.write(json.dumps(event_to_json(send)) + "\n")
                 self.count += 1
             return
-        if topic == "plane-stats":
-            # Process-local interning counters; not part of the wire
+        if topic in ("plane-stats", "decision-economy"):
+            # Process-local engine counters; not part of the wire
             # vocabulary (Metrics.summary() reports them instead).
             return
         self._fh.write(json.dumps(event_to_json(event)) + "\n")

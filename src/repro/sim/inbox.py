@@ -577,6 +577,17 @@ class Inbox:
             for m in self.index.sender_bucket(sender)
         )
 
+    def has_kind(self, kind: str) -> bool:
+        """True when any message of *kind* is present.
+
+        Unlike ``kinds()`` this returns no copy, and on the columnar
+        plane it answers straight off the kind column without
+        materializing a single message — the sampled-consensus
+        non-members poll for decision announcements with this, keeping
+        their per-round work O(1).
+        """
+        return kind in self.index.all_kinds
+
     def kinds(self, instance: Any = ...) -> set[str]:
         """The set of message kinds present (optionally within an instance)."""
         if instance is _ANY:

@@ -51,6 +51,23 @@ class Metrics:
     #: ``plane-stats`` events, zero when the plane is off).
     payload_intern_hits: int = 0
     unique_payloads: int = 0
+    #: Message objects the columnar plane actually built — the honest
+    #: "work done" figure next to ``deliveries_total``, which counts
+    #: *logical* deliveries (staged × recipients) and vastly overstates
+    #: columnar-path work.  On the object path this stays 0; use
+    #: ``staged_total`` (one shared object per staged entry) there.
+    materialized_messages: int = 0
+    #: Whether the columnar plane drove the run, and why not if not
+    #: ("disabled" / "filter-override"); None until a plane-stats event
+    #: arrives.
+    columnar_active: bool | None = None
+    plane_fallback: str | None = None
+    #: Decision economy (from the run-end ``decision-economy`` event):
+    #: correct nodes that halted with an output, and the run's message
+    #: cost amortized over them.
+    decisions: int = 0
+    messages_per_decision: float = 0.0
+    bytes_per_decision: float = 0.0
 
     # ------------------------------------------------------------------
     # Event-bus subscription
@@ -64,6 +81,7 @@ class Metrics:
         bus.subscribe(self._on_phase, "engine-phase")
         bus.subscribe(self._on_drop, "drop")
         bus.subscribe(self._on_plane, "plane-stats")
+        bus.subscribe(self._on_economy, "decision-economy")
         return self
 
     def detach(self, bus) -> None:
@@ -75,6 +93,7 @@ class Metrics:
         bus.unsubscribe(self._on_phase)
         bus.unsubscribe(self._on_drop)
         bus.unsubscribe(self._on_plane)
+        bus.unsubscribe(self._on_economy)
 
     def _on_round_start(self, event) -> None:
         self.record_round(event.round)
@@ -119,6 +138,14 @@ class Metrics:
         # Cumulative counters: the latest event carries the run totals.
         self.payload_intern_hits = event.payload_intern_hits
         self.unique_payloads = event.unique_payloads
+        self.materialized_messages = event.materialized_messages
+        self.columnar_active = event.columnar
+        self.plane_fallback = event.fallback
+
+    def _on_economy(self, event) -> None:
+        self.decisions = event.decisions
+        self.messages_per_decision = event.messages_per_decision
+        self.bytes_per_decision = event.bytes_per_decision
 
     def _on_deliver(self, event) -> None:
         count = len(event.messages)
@@ -184,7 +211,21 @@ class Metrics:
             "kinds": dict(self.sends_by_kind),
             "payload_intern_hits": self.payload_intern_hits,
             "unique_payloads": self.unique_payloads,
+            "materialized_messages": self.materialized_messages,
         }
+        if self.columnar_active is not None:
+            summary["columnar_active"] = self.columnar_active
+            if self.plane_fallback is not None:
+                summary["plane_fallback"] = self.plane_fallback
+        if self.decisions:
+            summary["decisions"] = self.decisions
+            summary["messages_per_decision"] = round(
+                self.messages_per_decision, 2
+            )
+            if self.bytes_per_decision:
+                summary["bytes_per_decision"] = round(
+                    self.bytes_per_decision, 2
+                )
         if self.bytes_total:
             summary["bytes_total"] = self.bytes_total
             summary["bytes_by_kind"] = dict(self.bytes_by_kind)

@@ -58,6 +58,7 @@ from typing import Protocol as TypingProtocol
 from repro.errors import ConfigurationError, RoundLimitExceeded
 from repro.obs.bus import EventBus
 from repro.obs.events import (
+    DecisionEconomy,
     EnginePhase,
     InboxDelivered,
     MessageBatchSent,
@@ -208,6 +209,16 @@ class SyncNetwork:
             is SyncNetwork._filter_deliveries
         )
         self._plane = ColumnarPlane() if self._columnar else None
+        #: Why the plane is off ("disabled" / "filter-override"), None
+        #: when it is on.  Reported once via a downgraded PlaneStats
+        #: event at the first round end, so observers can tell the
+        #: object path from "no stats yet".
+        self._plane_fallback = (
+            None
+            if self._columnar
+            else ("disabled" if not columnar else "filter-override")
+        )
+        self._fallback_reported = False
         #: The columns this round's broadcasts stage into (columnar
         #: mode), swapped for a fresh instance at each delivery.
         self._staging_cols = (
@@ -335,6 +346,7 @@ class SyncNetwork:
         for _ in range(max_rounds):
             self.step()
             if until_all_halted and self.all_correct_halted():
+                self._emit_economy()
                 return self.round
         if until_all_halted and not self.all_correct_halted():
             running = [
@@ -343,7 +355,38 @@ class SyncNetwork:
                 if not s.byzantine and s.alive and not s.protocol.halted
             ]
             raise RoundLimitExceeded(max_rounds, running)
+        self._emit_economy()
         return self.round
+
+    def _emit_economy(self) -> None:
+        """Publish the run's message economy (once, at run end).
+
+        Totals come from this network's default Metrics subscriber; a
+        caller that detached it gets zero totals (the decisions count is
+        the engine's own).
+        """
+        sink = self.bus.sink(DecisionEconomy.topic)
+        if sink is None:
+            return
+        decisions = sum(
+            1
+            for s in self._nodes.values()
+            if not s.byzantine
+            and s.protocol.halted
+            and s.protocol.output is not None
+        )
+        sends = self.metrics.sends_total
+        wire = self.metrics.bytes_total
+        sink(
+            DecisionEconomy(
+                self.round,
+                decisions,
+                sends,
+                wire,
+                sends / decisions if decisions else 0.0,
+                wire / decisions if decisions else 0.0,
+            )
+        )
 
     def _refresh_sinks(self) -> None:
         """Re-snapshot the per-topic dispatchers.
@@ -452,15 +495,27 @@ class SyncNetwork:
             emit_phase(EnginePhase(round_no, "adversary", t3 - t2))
             emit_phase(EnginePhase(round_no, "stage", t4 - t3))
         emit_plane = self._emit_plane
-        if emit_plane is not None and self._plane is not None:
+        if emit_plane is not None:
             plane = self._plane
-            emit_plane(
-                PlaneStats(
-                    self.round,
-                    plane.payload_intern_hits,
-                    plane.unique_payloads,
+            if plane is not None:
+                emit_plane(
+                    PlaneStats(
+                        self.round,
+                        plane.payload_intern_hits,
+                        plane.unique_payloads,
+                        True,
+                        None,
+                        plane.messages_materialized,
+                    )
                 )
-            )
+            elif not self._fallback_reported:
+                # Object path: say so once, with the downgrade reason.
+                self._fallback_reported = True
+                emit_plane(
+                    PlaneStats(
+                        self.round, 0, 0, False, self._plane_fallback, 0
+                    )
+                )
         if self._emit_round_end is not None:
             self._emit_round_end(RoundEnded(self.round))
 

@@ -1,0 +1,94 @@
+"""Units for the deterministic committee sampler (repro.core.committee)."""
+
+from repro.core.committee import (
+    MIN_COMMITTEE,
+    ceil_log2,
+    committee_size,
+    rank_key,
+    sample_committee,
+)
+from repro.sim.rng import make_rng, sparse_ids
+
+
+def ids(count, seed=0):
+    return sparse_ids(count, make_rng(seed))
+
+
+class TestCommitteeSize:
+    def test_polylog_values(self):
+        # 2 * ceil(log2 n)^2, floored at 16, capped at n.
+        assert committee_size(120) == 98
+        assert committee_size(200) == 128
+        assert committee_size(1000) == 200
+        assert committee_size(5000) == 338
+        assert committee_size(10000) == 392
+
+    def test_small_views_degenerate_to_full(self):
+        for n_v in (1, 2, 10, 16, 50):
+            assert committee_size(n_v) == n_v
+
+    def test_floor_and_empty(self):
+        assert committee_size(0) == 0
+        assert committee_size(-3) == 0
+        assert committee_size(17, floor=MIN_COMMITTEE) >= MIN_COMMITTEE
+
+    def test_sublinear_at_scale(self):
+        # The whole point: c grows polylog while n grows linearly.
+        assert committee_size(10000) < 10000 // 10
+
+    def test_ceil_log2(self):
+        assert ceil_log2(0) == 0
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(1000) == 10
+        assert ceil_log2(1024) == 10
+        assert ceil_log2(1025) == 11
+
+
+class TestSampleCommittee:
+    def test_deterministic_across_callers(self):
+        view = ids(300)
+        a = sample_committee(view, seed=7)
+        b = sample_committee(list(reversed(view)), seed=7)
+        c = sample_committee(set(view), seed=7)
+        assert a == b == c
+        assert len(a) == committee_size(300)
+        assert a <= frozenset(view)
+
+    def test_seed_changes_committee(self):
+        view = ids(300)
+        assert sample_committee(view, seed=1) != sample_committee(
+            view, seed=2
+        )
+        assert rank_key(1) != rank_key(2)
+
+    def test_size_override(self):
+        view = ids(100)
+        assert len(sample_committee(view, seed=0, size=10)) == 10
+        # Oversized override degenerates to the full view.
+        assert sample_committee(view, seed=0, size=500) == frozenset(view)
+
+    def test_small_view_is_full_committee(self):
+        view = ids(40)
+        assert sample_committee(view, seed=3) == frozenset(view)
+
+    def test_empty_view(self):
+        assert sample_committee([], seed=0) == frozenset()
+
+    def test_one_id_perturbation_changes_at_most_one_member(self):
+        # Rank-based selection: adding one id displaces at most the
+        # current highest-ranked member.
+        view = ids(400)
+        base = sample_committee(view[:-1], seed=5)
+        grown = sample_committee(view, seed=5)
+        assert len(base - grown) <= 1
+        assert len(grown - base) <= 1
+
+    def test_uniformity_smoke(self):
+        # Across seeds, membership should not be positionally biased:
+        # every id gets picked sometimes.
+        view = ids(64)
+        picked = set()
+        for seed in range(40):
+            picked |= sample_committee(view, seed=seed, size=16)
+        assert picked == set(view)

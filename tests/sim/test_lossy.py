@@ -79,3 +79,62 @@ class TestLossyNetwork:
             except SimulationError:
                 pass
         assert survived >= 3
+
+
+class TestColumnarAutoFallback:
+    """LossyNetwork overrides ``_filter_deliveries``, so the engine must
+    silently downgrade off the columnar plane — and say so on the bus."""
+
+    def test_lossy_rides_the_object_path(self):
+        net = consensus_run(0.0, seed=2)
+        assert net._plane is None
+        summary = net.metrics.summary()
+        assert summary["columnar_active"] is False
+        assert summary["plane_fallback"] == "filter-override"
+
+    def test_object_path_matches_columnar_results(self):
+        # Same seed, same protocols: the fallback is an implementation
+        # detail, not a behaviour change.
+        lossy = consensus_run(0.0, seed=4)
+        rng = make_rng(4)
+        ids = sparse_ids(7, rng)
+        columnar = SyncNetwork(seed=4)
+        for index, node_id in enumerate(ids):
+            columnar.add_correct(node_id, EarlyConsensus(index % 2))
+        columnar.run(60)
+        assert columnar._plane is not None
+        assert lossy.outputs() == columnar.outputs()
+        assert (
+            lossy.metrics.deliveries_total
+            == columnar.metrics.deliveries_total
+        )
+
+    def test_downgrade_emits_one_plane_stats_event(self):
+        rng = make_rng(5)
+        ids = sparse_ids(7, rng)
+        net = LossyNetwork(0.0, seed=5)
+        events = []
+        net.bus.subscribe(events.append, "plane-stats")
+        for index, node_id in enumerate(ids):
+            net.add_correct(node_id, EarlyConsensus(index % 2))
+        net.run(60)
+        downgrades = [e for e in events if not e.columnar]
+        assert len(downgrades) == 1
+        assert downgrades == events
+        (event,) = downgrades
+        assert event.fallback == "filter-override"
+        assert event.round == 1
+        assert event.materialized_messages == 0
+
+    def test_columnar_control_reports_active_plane(self):
+        rng = make_rng(5)
+        ids = sparse_ids(7, rng)
+        net = SyncNetwork(seed=5)
+        events = []
+        net.bus.subscribe(events.append, "plane-stats")
+        for index, node_id in enumerate(ids):
+            net.add_correct(node_id, EarlyConsensus(index % 2))
+        net.run(60)
+        assert events
+        assert all(e.columnar and e.fallback is None for e in events)
+        assert net.metrics.summary()["columnar_active"] is True
