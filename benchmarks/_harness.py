@@ -14,8 +14,22 @@ from __future__ import annotations
 import pathlib
 
 from repro.analysis.report import format_table
+from repro.scenario import RunSpec, run_spec
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_run(spec: RunSpec, *, bus=None):
+    """Materialize and run one RunSpec (the benchmarks' one run path).
+
+    Benchmarks describe every run as a declarative
+    :class:`~repro.scenario.RunSpec` and execute it here — never by
+    assembling :class:`~repro.sim.network.SyncNetwork` populations by
+    hand (lint rule R502 fences the direct construction API out of
+    ``benchmarks/``), so every benchmarked configuration can be
+    serialized and replayed via ``repro run --scenario``.
+    """
+    return run_spec(spec, bus=bus)
 
 
 def emit_table(

@@ -3,51 +3,56 @@
 Claim: chains satisfy chain-prefix and chain-growth while participants
 join and leave, subject to n > 3f per round.
 
+Each configuration is a declarative :class:`~repro.scenario.RunSpec`:
+joiners come from the seeded ``bursts`` churn generator (one joiner per
+burst), leavers from the total-order registry's ``leavers`` knob
+(founder ``i`` departs at round ``30 + 5i``).
+
 Regenerated table: per churn level (joins + one leave), prefix-check
 pass rate (expect 100%), chain length achieved, and finality lag.
 """
 
-from repro.adversary import SilentStrategy
 from repro.analysis.checkers import check_chain_prefix
-from repro.core.total_order import TotalOrderNode, events_from_dict
-from repro.sim.membership import MembershipSchedule
-from repro.sim.network import SyncNetwork
-from repro.sim.rng import make_rng, sparse_ids
+from repro.scenario import ChurnSpec, RunSpec
 
-from benchmarks._harness import emit_table
+from benchmarks._harness import bench_run, emit_table
 
 SEEDS = range(5)
 ROUNDS = 95
 
 
+def churn_spec(joins: int, leaves: int, seed: int) -> RunSpec:
+    churn = None
+    if joins:
+        churn = ChurnSpec(
+            "bursts",
+            {"first": 14, "period": 7, "count": joins, "joins": 1,
+             "leaves": 0},
+        )
+    return RunSpec(
+        protocol="total-order",
+        n=9,
+        f=2,
+        protocol_params={
+            "event_first": 2,
+            "event_last": 60,
+            "event_every": 5,
+            "leavers": leaves,
+            "leave_base": 30,
+            "leave_step": 5,
+        },
+        churn=churn,
+        seed=seed,
+        max_rounds=ROUNDS,
+    )
+
+
 def one_run(joins: int, leaves: int, seed: int):
-    rng = make_rng(seed)
-    ids = sparse_ids(7 + 2 + joins, rng)
-    founders, byz, joiners = ids[:7], ids[7:9], ids[9:]
-
-    membership = MembershipSchedule()
-    for offset, joiner in enumerate(joiners):
-        membership.join(
-            14 + 7 * offset, joiner, lambda: TotalOrderNode(seed=False)
-        )
-
-    network = SyncNetwork(seed=seed, membership=membership)
-    for index, node_id in enumerate(founders):
-        node = TotalOrderNode(
-            event_source=events_from_dict(
-                {r: f"e{index}@{r}" for r in range(2, 60, 5)}
-            )
-        )
-        if index < leaves:
-            node.leave_at = 30 + 5 * index
-        network.add_correct(node_id, node)
-    for node_id in byz:
-        network.add_byzantine(node_id, SilentStrategy())
-    network.run(ROUNDS, until_all_halted=False)
+    result = bench_run(churn_spec(joins, leaves, seed))
 
     chains = {}
     lags = []
-    for node_id, protocol in network.protocols().items():
+    for node_id, protocol in result.network.protocols().items():
         chains[node_id] = (
             list(protocol.output) if protocol.halted else protocol.chain
         )
@@ -91,6 +96,6 @@ def test_e8_table_and_timing(benchmark):
     )
     assert all(row["prefix ok%"] == 100.0 for row in rows)
     assert all(row["chain length(max)"] > 0 for row in rows)
-    # finality lag bounded by the paper's 5|S|/2 + 2 budget (|S| <= 11)
-    assert all(row["finality lag(max)"] <= 5 * 11 // 2 + 4 for row in rows)
+    # finality lag bounded by the paper's 5|S|/2 + 2 budget (|S| <= 12)
+    assert all(row["finality lag(max)"] <= 5 * 12 // 2 + 4 for row in rows)
     benchmark.pedantic(lambda: one_run(1, 0, 0), rounds=2, iterations=1)

@@ -7,9 +7,19 @@
 * :mod:`~repro.analysis.stats` — aggregate many runs into summary rows;
 * :mod:`~repro.analysis.sweep` — parameter grids over (n, f, adversary,
   seed);
+* :mod:`~repro.analysis.campaign` — Monte Carlo churn campaigns: many
+  seed-derived RunSpecs in a worker pool, per-monitor violation rates;
 * :mod:`~repro.analysis.report` — ASCII tables for EXPERIMENTS.md.
 """
 
+from repro.analysis.campaign import (
+    CampaignReport,
+    build_specs,
+    derive_seed,
+    evaluate_spec,
+    format_campaign_report,
+    run_campaign,
+)
 from repro.analysis.checkers import (
     CheckReport,
     check_agreement,
@@ -26,6 +36,7 @@ from repro.analysis.complexity import classify_growth, fit_line
 from repro.analysis.monitor import (
     AgreementMonitor,
     BoundMonitor,
+    ChainConsistencyMonitor,
     RelayMonitor,
     TraceMonitor,
 )
@@ -41,6 +52,8 @@ from repro.analysis.timeline import render_timeline
 __all__ = [
     "AgreementMonitor",
     "BoundMonitor",
+    "CampaignReport",
+    "ChainConsistencyMonitor",
     "CheckReport",
     "OracleReport",
     "OracleVerdict",
@@ -48,6 +61,7 @@ __all__ = [
     "RunStats",
     "SweepResult",
     "TraceMonitor",
+    "build_specs",
     "check_agreement",
     "check_approx_agreement",
     "check_chain_prefix",
@@ -58,9 +72,13 @@ __all__ = [
     "check_validity",
     "classify_growth",
     "compare_with_oracle",
+    "derive_seed",
+    "evaluate_spec",
     "fit_line",
+    "format_campaign_report",
     "format_table",
     "render_timeline",
+    "run_campaign",
     "summarize_runs",
     "sweep",
 ]

@@ -1,0 +1,382 @@
+"""Monte Carlo campaigns: thousands of seeded RunSpecs, one verdict table.
+
+The campaign driver turns a *base* :class:`~repro.scenario.RunSpec`
+into ``runs`` seed-derived specs (splitmix-style mixing of the campaign
+seed with the run index — workers never share generator state, so the
+scenario list is a pure function of ``(campaign_seed, runs)``), runs
+them in a :mod:`multiprocessing` pool, and aggregates monitor verdicts
+from each run's event stream into per-monitor violation rates:
+
+* **chain-prefix** / **chain-growth** / **finality-lag** — Theorem 11.1
+  under churn, for ``total-order`` runs (online
+  :class:`~repro.analysis.monitor.ChainConsistencyMonitor` plus
+  post-hoc checks over the finished chains);
+* **agreement** — conflicting ``decide`` events, for deciding
+  protocols (online :class:`~repro.analysis.monitor.AgreementMonitor`);
+* **termination** — the run finished inside its round budget, plus the
+  O(f) early-stopping bound for full-variant consensus;
+* **half-range** — approximate agreement's range contraction.
+
+The report is byte-deterministic for a given (base spec, campaign
+seed, run count) regardless of worker count: specs are derived by
+index, workers return ``(index, verdicts)``, and aggregation sorts by
+index and records no wall-clock data.  Any violating spec is saved as
+a JSON artifact that ``repro run --scenario FILE`` replays directly.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import pathlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from repro.analysis.checkers import (
+    check_agreement,
+    check_approx_agreement,
+    check_chain_prefix,
+)
+from repro.analysis.monitor import AgreementMonitor, ChainConsistencyMonitor
+from repro.analysis.report import format_table
+from repro.errors import PropertyViolation, SimulationError
+from repro.obs.bus import EventBus
+from repro.obs.events import ProtocolEvent
+from repro.scenario import RunSpec, get_protocol, resolve_inputs, run_spec
+
+__all__ = [
+    "CampaignReport",
+    "build_specs",
+    "derive_seed",
+    "evaluate_spec",
+    "format_campaign_report",
+    "run_campaign",
+]
+
+_MASK64 = (1 << 64) - 1
+
+#: Protocols whose ``decide`` values must agree exactly (approx decides
+#: nearby floats, total-order/rb decide nothing comparable this way).
+_DECIDING = frozenset(
+    {
+        "consensus",
+        "binary-consensus",
+        "parallel",
+        "interactive-consistency",
+        "trb",
+        "renaming",
+        "rotor",
+    }
+)
+
+
+def derive_seed(campaign_seed: int, index: int) -> int:
+    """Deterministic per-run seed: splitmix64 finalizer over the pair.
+
+    Pure arithmetic on ``(campaign_seed, index)`` — no shared generator
+    to thread through workers — so spec ``index`` gets the same seed no
+    matter how the pool partitions the campaign.
+    """
+    z = (
+        campaign_seed * 0x9E3779B97F4A7C15
+        + (index + 1) * 0xBF58476D1CE4E5B9
+    ) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & 0x7FFFFFFF
+
+
+def build_specs(
+    base: RunSpec, runs: int, campaign_seed: int = 0
+) -> list[RunSpec]:
+    """The campaign's scenario list: *base* under derived seeds."""
+    return [
+        replace(base, seed=derive_seed(campaign_seed, index))
+        for index in range(runs)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Single-run evaluation (runs inside pool workers — must stay picklable)
+# ---------------------------------------------------------------------------
+class _RecordingMonitor:
+    """Wraps an online monitor: record the first violation, keep running."""
+
+    def __init__(self, name: str, monitor) -> None:
+        self.name = name
+        self.monitor = monitor
+        self.violation: str | None = None
+
+    def on_event(self, event) -> None:
+        if self.violation is not None:
+            return
+        try:
+            self.monitor.on_event(event)
+        except PropertyViolation as exc:
+            self.violation = str(exc)
+
+
+def _correct_inputs(spec: RunSpec, result) -> list:
+    entry = get_protocol(spec.protocol)
+    input_fn = resolve_inputs(spec.inputs or entry.default_inputs)
+    return [
+        input_fn(nid, index)
+        for index, nid in enumerate(result.correct_ids)
+    ]
+
+
+def _total_order_verdicts(spec: RunSpec, result, verdicts: dict) -> None:
+    network = result.network
+    protocols = network.protocols()
+    alive = network.alive_ids
+    chains = {
+        nid: (list(p.output) if p.halted else p.chain)
+        for nid, p in protocols.items()
+    }
+    prefix = check_chain_prefix(chains)
+    if not prefix.ok and verdicts.get("chain-prefix") is None:
+        verdicts["chain-prefix"] = "; ".join(prefix.violations)
+
+    # The finality horizon: a machine for round r' is final once
+    # 2(r - r') > 5|S| + 4, so with |S| bounded by every id ever
+    # registered, any run longer than first_event + lag bound must
+    # have finalized something.
+    population_bound = len(network.node_ids)
+    lag_bound = (5 * population_bound) // 2 + 4
+    first_event = int(spec.protocol_params.get("event_first", 2))
+    verdicts.setdefault("chain-growth", None)
+    if spec.max_rounds >= first_event + lag_bound + 5:
+        longest = max((len(c) for c in chains.values()), default=0)
+        if longest == 0:
+            verdicts["chain-growth"] = (
+                f"no chain grew within {spec.max_rounds} rounds "
+                f"(finality horizon {first_event + lag_bound})"
+            )
+
+    verdicts.setdefault("finality-lag", None)
+    for nid, protocol in protocols.items():
+        if nid not in alive or protocol.halted:
+            continue
+        if not getattr(protocol, "joined", False):
+            continue
+        local_round = protocol.local_round
+        if local_round is None:
+            continue
+        lag = local_round - protocol.final_through
+        if lag > lag_bound and verdicts["finality-lag"] is None:
+            verdicts["finality-lag"] = (
+                f"node {nid} finality lag {lag} exceeds bound "
+                f"{lag_bound} (|S| <= {population_bound})"
+            )
+
+
+def evaluate_spec(spec: RunSpec) -> dict[str, Any]:
+    """Run one spec under its monitors; return a picklable verdict row.
+
+    ``verdicts`` maps monitor name -> None (held) or the violation
+    message; a liveness failure (round budget exhausted) is recorded
+    under ``termination``.
+    """
+    bus = EventBus()
+    online: list[_RecordingMonitor] = []
+    if spec.protocol == "total-order":
+        online.append(
+            _RecordingMonitor("chain-prefix", ChainConsistencyMonitor())
+        )
+    elif spec.protocol in _DECIDING:
+        online.append(_RecordingMonitor("agreement", AgreementMonitor()))
+    for wrapper in online:
+        bus.subscribe(wrapper.on_event, ProtocolEvent.topic)
+
+    verdicts: dict[str, str | None] = {w.name: None for w in online}
+    verdicts["termination"] = None
+    rounds = None
+    sends = None
+    chain_length = None
+    try:
+        result = run_spec(spec, bus=bus)
+    except SimulationError as exc:
+        verdicts["termination"] = f"liveness: {exc}"
+        result = None
+    if result is not None:
+        rounds = result.rounds
+        sends = result.metrics.sends_total
+        for wrapper in online:
+            if wrapper.violation is not None:
+                verdicts[wrapper.name] = wrapper.violation
+        if spec.protocol == "total-order":
+            _total_order_verdicts(spec, result, verdicts)
+            chain_length = max(
+                (
+                    len(list(p.output) if p.halted else p.chain)
+                    for p in result.network.protocols().values()
+                ),
+                default=0,
+            )
+        elif spec.protocol in _DECIDING:
+            agreement = check_agreement(result)
+            if not agreement.ok and verdicts.get("agreement") is None:
+                verdicts["agreement"] = "; ".join(agreement.violations)
+            if spec.protocol == "consensus" and spec.variant == "full":
+                # Early-stopping consensus terminates in O(f) rounds:
+                # two init rounds plus at most 2f + 4 five-round phases.
+                bound = 2 + 5 * (2 * spec.f + 4)
+                if result.rounds > bound:
+                    verdicts["termination"] = (
+                        f"consensus took {result.rounds} rounds; O(f) "
+                        f"bound is {bound}"
+                    )
+        elif spec.protocol == "approx":
+            verdicts.setdefault("half-range", None)
+            report = check_approx_agreement(
+                result, [float(v) for v in _correct_inputs(spec, result)]
+            )
+            if not report.ok:
+                verdicts["half-range"] = "; ".join(report.violations)
+    return {
+        "verdicts": verdicts,
+        "rounds": rounds,
+        "sends": sends,
+        "chain_length": chain_length,
+    }
+
+
+def _worker(payload: tuple[int, dict]) -> tuple[int, dict]:
+    index, doc = payload
+    return index, evaluate_spec(RunSpec.from_json_dict(doc))
+
+
+# ---------------------------------------------------------------------------
+# The campaign
+# ---------------------------------------------------------------------------
+@dataclass
+class CampaignReport:
+    """Aggregate verdicts of one campaign, JSON-stable."""
+
+    base: dict
+    campaign_seed: int
+    runs: int
+    monitors: dict[str, dict] = field(default_factory=dict)
+    violations: list[dict] = field(default_factory=list)
+    rounds_max: int = 0
+    chain_length_max: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def violation_rate(self, monitor: str) -> float:
+        entry = self.monitors[monitor]
+        checked = entry["checked"]
+        return entry["violations"] / checked if checked else 0.0
+
+    def to_json_dict(self) -> dict:
+        return {
+            "base": self.base,
+            "campaign_seed": self.campaign_seed,
+            "runs": self.runs,
+            "monitors": {
+                name: dict(self.monitors[name])
+                for name in sorted(self.monitors)
+            },
+            "violations": list(self.violations),
+            "rounds_max": self.rounds_max,
+            "chain_length_max": self.chain_length_max,
+        }
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(
+            json.dumps(self.to_json_dict(), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+
+def run_campaign(
+    base: RunSpec,
+    runs: int = 1000,
+    campaign_seed: int = 0,
+    workers: int = 1,
+    artifacts_dir: str | pathlib.Path | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> CampaignReport:
+    """Run *runs* seed-derived copies of *base* and aggregate verdicts.
+
+    ``workers > 1`` fans the scenario list over a process pool; the
+    report bytes are identical for any worker count.  When
+    ``artifacts_dir`` is set, every violating spec is saved there as a
+    replayable ``violation-<index>.json`` RunSpec file.
+    """
+    specs = build_specs(base, runs, campaign_seed)
+    payloads = [
+        (index, spec.to_json_dict()) for index, spec in enumerate(specs)
+    ]
+    if workers > 1:
+        chunksize = max(1, runs // (workers * 8))
+        with multiprocessing.Pool(workers) as pool:
+            outcomes = pool.map(_worker, payloads, chunksize=chunksize)
+    else:
+        outcomes = []
+        for payload in payloads:
+            outcomes.append(_worker(payload))
+            if progress is not None:
+                progress(len(outcomes), runs)
+    outcomes.sort(key=lambda pair: pair[0])
+
+    report = CampaignReport(
+        base=base.to_json_dict(), campaign_seed=campaign_seed, runs=runs
+    )
+    if artifacts_dir is not None:
+        artifacts_dir = pathlib.Path(artifacts_dir)
+    for index, row in outcomes:
+        if row["rounds"] is not None:
+            report.rounds_max = max(report.rounds_max, row["rounds"])
+        if row["chain_length"] is not None:
+            report.chain_length_max = max(
+                report.chain_length_max or 0, row["chain_length"]
+            )
+        for monitor, violation in sorted(row["verdicts"].items()):
+            entry = report.monitors.setdefault(
+                monitor, {"checked": 0, "violations": 0}
+            )
+            entry["checked"] += 1
+            if violation is None:
+                continue
+            entry["violations"] += 1
+            record = {
+                "index": index,
+                "seed": specs[index].seed,
+                "monitor": monitor,
+                "message": violation,
+            }
+            if artifacts_dir is not None:
+                artifacts_dir.mkdir(parents=True, exist_ok=True)
+                artifact = artifacts_dir / f"violation-{index:05d}.json"
+                specs[index].save(artifact)
+                record["artifact"] = str(artifact)
+            report.violations.append(record)
+    return report
+
+
+def format_campaign_report(report: CampaignReport) -> str:
+    """The violation-rate table (EXPERIMENTS.md's campaign section)."""
+    rows = []
+    for name in sorted(report.monitors):
+        entry = report.monitors[name]
+        rows.append(
+            {
+                "monitor": name,
+                "checked": entry["checked"],
+                "violations": entry["violations"],
+                "violation rate%": round(
+                    100 * report.violation_rate(name), 3
+                ),
+            }
+        )
+    base = RunSpec.from_json_dict(report.base)
+    title = (
+        f"campaign: {base.label()} — {report.runs} runs, "
+        f"campaign seed {report.campaign_seed}"
+    )
+    return format_table(rows, title=title)

@@ -277,7 +277,13 @@ def check_chain_prefix(chains: dict[NodeId, list]) -> CheckReport:
             continue
         first_round = chain[0][0]
         segment = [e for e in reference if e[0] >= first_round]
-        if segment[: len(chain)] != chain:
+        # A node with a smaller membership view (a late joiner that
+        # never saw a long-departed member) has a lower finality
+        # threshold and can be final *beyond* the reference chain's
+        # horizon; entries past that horizon have nothing to be
+        # compared against, so only the overlap must match.
+        overlap = min(len(segment), len(chain))
+        if segment[:overlap] != chain[:overlap]:
             report.add(
                 f"node {node} chain diverges from the longest chain "
                 f"(first differing entry at index "

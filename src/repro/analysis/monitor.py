@@ -128,3 +128,45 @@ class BoundMonitor(TraceMonitor):
                 f"{event.node} {self._event}.{self._field} = {value!r} "
                 f"outside [{self._lo}, {self._hi}]"
             )
+
+
+class ChainConsistencyMonitor(TraceMonitor):
+    """Raises when two nodes finalize different entries for one round.
+
+    Consumes the ``to-chain`` events of
+    :class:`~repro.core.total_order.TotalOrderNode` — whose ``entries``
+    detail carries the chain entries that just became final — and keeps
+    one canonical block per machine round.  Theorem 11.1's chain-prefix
+    property holds exactly when every node's block for a round matches
+    the canonical one (late joiners simply start at a later round), so
+    the monitor catches a prefix violation in the round it is born,
+    both on a live bus and over a rehydrated JSONL stream.
+    """
+
+    def __init__(self) -> None:
+        #: machine round -> the first finalized entry block seen for it.
+        self.blocks: dict[int, list] = {}
+
+    @staticmethod
+    def _normalize(entry: Any) -> tuple:
+        # Live events carry (round, source, value) tuples; a JSONL
+        # round-trip renders them as lists.  Either way the first
+        # element is the machine round.
+        return tuple(entry)
+
+    def on_event(self, event: TraceEvent) -> None:
+        if event.event != "to-chain":
+            return
+        per_round: dict[int, list] = {}
+        for raw in event.get("entries") or ():
+            entry = self._normalize(raw)
+            per_round.setdefault(entry[0], []).append(entry)
+        for machine_round, block in per_round.items():
+            known = self.blocks.setdefault(machine_round, block)
+            if known != block:
+                raise PropertyViolation(
+                    f"chain-prefix broken in round {event.round}: node "
+                    f"{event.node} finalized {block!r} for machine round "
+                    f"{machine_round} but the canonical block is "
+                    f"{known!r}"
+                )

@@ -10,9 +10,14 @@ as the oracle, :class:`~repro.core.CommitteeConsensus` as the candidate —
 under a live :class:`~repro.analysis.monitor.AgreementMonitor`, and
 reports per-seed verdicts.
 
+Both runs are described as :class:`~repro.scenario.RunSpec`\\ s differing
+only in ``variant`` — the scenario layer is the single construction
+path, so the oracle compares *protocols*, never harness wiring.
+
 Outcome equality is only a theorem when validity pins the outcome —
-hence the :func:`supermajority_inputs` default (see its docstring).
-Under a near-even split both values are valid and the two protocols may
+hence the ``supermajority`` input default (see
+:func:`repro.scenario.registry.supermajority_inputs`).  Under a
+near-even split both values are valid and the two protocols may
 legitimately resolve differently; that regime is still covered by each
 run's *internal* agreement monitor, just not by cross-run equality.
 
@@ -24,40 +29,26 @@ committed check rather than two drifting ones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Hashable, Sequence
+from dataclasses import dataclass, replace
+from typing import Hashable, Sequence
 
 from repro.analysis.monitor import AgreementMonitor
-from repro.core.consensus import EarlyConsensus
-from repro.core.implicit_agreement import CommitteeConsensus
 from repro.obs.bus import EventBus
-from repro.sim.runner import Scenario, run_scenario
-from repro.types import NodeId
+from repro.scenario import (
+    RunSpec,
+    alternating_inputs,
+    run_spec,
+    supermajority_inputs,
+)
 
-
-def alternating_inputs(nid: NodeId, index: int) -> Hashable:
-    """A worst-case near-even binary split.
-
-    Useful for *internal* agreement checks, but not for oracle
-    comparison: with no supermajority, both 0 and 1 are valid outcomes
-    and the full-broadcast and committee runs — different executions
-    over different memberships — may legitimately resolve differently.
-    """
-    return index % 2
-
-
-def supermajority_inputs(nid: NodeId, index: int) -> Hashable:
-    """Default input assignment: a 7:1 biased binary split.
-
-    When ≥ 2/3 of a (sub)population holds the same input, Algorithm 3
-    terminates on it in its first phase — validity pins the outcome, so
-    the oracle and the sampled run *must* produce the same value and
-    comparing them is meaningful.  The 7:1 margin keeps the sampled
-    committee's own majority fraction above 2/3 with overwhelming
-    probability (≈ 6σ at c ≈ 100), and the run still exercises both
-    values on the wire.
-    """
-    return 0 if index % 8 else 1
+__all__ = [
+    "OracleReport",
+    "OracleVerdict",
+    "alternating_inputs",
+    "check_sampled_agreement",
+    "compare_with_oracle",
+    "supermajority_inputs",
+]
 
 
 @dataclass(slots=True)
@@ -111,47 +102,37 @@ def _single_outcome(outputs: dict) -> Hashable:
     return values.pop()
 
 
+def _monitored(spec: RunSpec):
+    bus = EventBus()
+    AgreementMonitor().attach(bus)
+    return run_spec(spec, bus=bus)
+
+
 def compare_with_oracle(
     population: int,
     seed: int,
     *,
-    inputs: Callable[[NodeId, int], Hashable] = supermajority_inputs,
+    inputs: str = "supermajority",
     max_rounds: int = 200,
 ) -> OracleVerdict:
     """Run oracle and sampled consensus on one (population, seed) pair.
 
     Both runs share the population size, the seed (so id assignment and
-    all protocol randomness line up), and the input assignment; the
-    sampled run additionally keys its committee off the same seed.  An
-    :class:`AgreementMonitor` rides each run, so internal disagreement
-    raises immediately with the offending round in the traceback.
+    all protocol randomness line up), and the named input assignment;
+    the sampled run additionally keys its committee off the same seed.
+    An :class:`AgreementMonitor` rides each run, so internal
+    disagreement raises immediately with the offending round in the
+    traceback.
     """
-    oracle_bus = EventBus()
-    AgreementMonitor().attach(oracle_bus)
-    oracle = run_scenario(
-        Scenario(
-            correct=population,
-            protocol_factory=lambda nid, index: EarlyConsensus(
-                inputs(nid, index)
-            ),
-            seed=seed,
-            max_rounds=max_rounds,
-        ),
-        bus=oracle_bus,
+    base = RunSpec(
+        protocol="consensus",
+        n=population,
+        inputs=inputs,
+        seed=seed,
+        max_rounds=max_rounds,
     )
-    sampled_bus = EventBus()
-    AgreementMonitor().attach(sampled_bus)
-    sampled = run_scenario(
-        Scenario(
-            correct=population,
-            protocol_factory=lambda nid, index: CommitteeConsensus(
-                inputs(nid, index), sampling_seed=seed
-            ),
-            seed=seed,
-            max_rounds=max_rounds,
-        ),
-        bus=sampled_bus,
-    )
+    oracle = _monitored(base)
+    sampled = _monitored(replace(base, variant="sampled"))
     return OracleVerdict(
         seed=seed,
         oracle_outcome=_single_outcome(oracle.outputs),
@@ -166,7 +147,7 @@ def check_sampled_agreement(
     population: int = 120,
     seeds: Sequence[int] | int = 50,
     *,
-    inputs: Callable[[NodeId, int], Hashable] = supermajority_inputs,
+    inputs: str = "supermajority",
     max_rounds: int = 200,
 ) -> OracleReport:
     """Compare sampled vs oracle outcomes over many seeds.

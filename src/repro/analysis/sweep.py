@@ -2,9 +2,11 @@
 
 A sweep point is anything hashable (usually a tuple like ``(n, f)`` or an
 adversary name); the caller supplies a builder mapping
-``(point, seed) -> Scenario`` and a judge mapping a finished result to
-pass/fail.  The sweep runs every point over every seed and returns one
-summary row per point — the raw material for every benchmark table.
+``(point, seed) -> RunSpec`` and a judge mapping a finished result to
+pass/fail.  The sweep materializes every spec through the scenario
+layer (:func:`repro.scenario.run_spec` — the one construction path),
+runs every point over every seed, and returns one summary row per
+point — the raw material for every benchmark table.
 """
 
 from __future__ import annotations
@@ -13,10 +15,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Sequence
 
 from repro.errors import SimulationError
-from repro.sim.runner import Scenario, ScenarioResult, run_scenario
+from repro.scenario import RunSpec, run_spec
+from repro.sim.runner import ScenarioResult
 from repro.analysis.stats import RunStats, summarize_runs
 
-ScenarioBuilder = Callable[[Hashable, int], Scenario]
+SpecBuilder = Callable[[Hashable, int], RunSpec]
 ResultJudge = Callable[[ScenarioResult], bool]
 
 
@@ -37,7 +40,7 @@ class SweepResult:
 
 def sweep(
     points: Iterable[Hashable],
-    build: ScenarioBuilder,
+    build: SpecBuilder,
     judge: ResultJudge,
     seeds: Sequence[int] = range(10),
     crash_is_failure: bool = True,
@@ -55,9 +58,9 @@ def sweep(
         successes: list[bool] = []
         notes: list[str] = []
         for seed in seeds:
-            scenario = build(point, seed)
+            spec = build(point, seed)
             try:
-                result = run_scenario(scenario)
+                result = run_spec(spec)
             except SimulationError as exc:
                 if not crash_is_failure:
                     raise

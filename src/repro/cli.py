@@ -1,129 +1,116 @@
 """Command-line interface: ``repro`` (or ``python -m repro``).
 
-Three subcommands:
+Subcommands:
 
 * ``repro run <protocol>`` — one seeded run of any core protocol against
-  a chosen adversary, with the outcome and metrics printed;
+  a chosen adversary, with the outcome and metrics printed; accepts
+  ``--scenario FILE`` to replay a serialized :class:`RunSpec` instead
+  (e.g. a campaign violation artifact);
 * ``repro sweep <protocol>`` — a resiliency sweep over ``f`` for a fixed
   population, printing the success-rate table;
+* ``repro matrix <protocol>`` — every registered adversary, one table;
+* ``repro campaign [protocol]`` — a Monte Carlo churn campaign: many
+  seed-derived RunSpecs in a worker pool, per-monitor violation rates;
+* ``repro record <protocol>`` — record a run to JSONL, or verify one;
 * ``repro demo impossibility`` — the §9 partition/embedding experiments;
 * ``repro lint`` — the static model-invariant checker (``repro.lint``).
+
+Every run is constructed through :mod:`repro.scenario` — the CLI never
+assembles populations by hand (lint rule R502 enforces this), so
+anything it runs can be serialized, shared, and replayed.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import replace
 from typing import Hashable
 
-from repro.adversary import STRATEGY_BUILDERS, build_strategy
-from repro.analysis.checkers import check_agreement
+from repro.adversary import STRATEGY_BUILDERS
+from repro.analysis.checkers import (
+    CheckReport,
+    check_agreement,
+    check_chain_prefix,
+)
 from repro.analysis.report import format_table
 from repro.analysis.sweep import sweep
 from repro.asyncsim import run_async_partition, run_semisync_embedding
-from repro.core import (
-    ApproximateAgreement,
-    BinaryKingConsensus,
-    ByzantineRenaming,
-    CommitteeConsensus,
-    CommitteeParallelConsensus,
-    EarlyConsensus,
-    InteractiveConsistency,
-    ParallelConsensus,
-    RotorCoordinator,
-    TerminatingReliableBroadcast,
-)
-from repro.sim.runner import Scenario, run_scenario
-
-PROTOCOLS = (
-    "consensus",
-    "binary-consensus",
-    "rotor",
-    "approx",
-    "renaming",
-    "parallel",
-    "interactive-consistency",
-    "trb",
+from repro.scenario import (
+    CHURN_KINDS,
+    ChurnSpec,
+    PROTOCOLS,
+    RunSpec,
+    SAMPLED_PROTOCOLS,
+    materialize,
+    run_spec,
 )
 
-#: Protocols with a committee-sampled variant (``--variant sampled``).
-SAMPLED_PROTOCOLS = ("consensus", "parallel")
+
+def _parse_params(pairs) -> dict:
+    """``key=value`` pairs -> dict, values parsed as JSON when possible."""
+    params: dict = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"expected key=value, got {pair!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
 
 
-def _protocol_factory(name: str, variant: str = "full", seed: int = 0):
-    """(node_id, index) -> protocol, with index-derived inputs."""
-    if variant == "sampled":
-        if name == "consensus":
-            return lambda nid, i: CommitteeConsensus(
-                i % 2, sampling_seed=seed
-            )
-        if name == "parallel":
-            return lambda nid, i: CommitteeParallelConsensus(
-                {"k": i % 2}, sampling_seed=seed
-            )
-        raise SystemExit(
-            f"--variant sampled supports {SAMPLED_PROTOCOLS}, "
-            f"not {name!r}"
-        )
-    if name == "consensus":
-        return lambda nid, i: EarlyConsensus(i % 2)
-    if name == "binary-consensus":
-        return lambda nid, i: BinaryKingConsensus(i % 2)
-    if name == "rotor":
-        return lambda nid, i: RotorCoordinator(opinion=i)
-    if name == "approx":
-        return lambda nid, i: ApproximateAgreement(float(i))
-    if name == "renaming":
-        return lambda nid, i: ByzantineRenaming()
-    if name == "parallel":
-        return lambda nid, i: ParallelConsensus({"k": i % 2})
-    if name == "interactive-consistency":
-        return lambda nid, i: InteractiveConsistency(i)
-    if name == "trb":
-        # index 0's node acts as the designated sender; the factory is
-        # called in index order so the first call fixes the sender id.
-        sender: list = []
-
-        def build(nid, i):
-            if i == 0:
-                sender.append(nid)
-            return TerminatingReliableBroadcast(
-                sender[0], "payload" if i == 0 else None
-            )
-
-        return build
-    raise SystemExit(f"unknown protocol {name!r}; choose from {PROTOCOLS}")
-
-
-def _wrapped_factory(name: str, variant: str = "full", seed: int = 0):
-    """Zero-arg honest-protocol factory for wrapping strategies."""
-    inner = _protocol_factory(name, variant, seed)
-    return lambda: inner(0, 0)
-
-
-def _build_scenario(args, f_override: int | None = None, seed: int = 0):
+def _spec_from_args(
+    args, f_override: int | None = None, seed: int = 0
+) -> RunSpec:
     byzantine = args.f if f_override is None else f_override
-    variant = getattr(args, "variant", "full")
-    strategy = None
-    if byzantine:
-        strategy = build_strategy(
-            args.adversary,
-            protocol_factory=_wrapped_factory(args.protocol, variant, seed),
+    churn = None
+    churn_kind = getattr(args, "churn", None)
+    if churn_kind and churn_kind != "none":
+        churn = ChurnSpec(
+            churn_kind, _parse_params(getattr(args, "churn_param", None))
         )
-    return Scenario(
-        correct=args.n - byzantine,
-        byzantine=byzantine,
-        protocol_factory=_protocol_factory(args.protocol, variant, seed),
-        strategy_factory=strategy,
+    return RunSpec(
+        protocol=args.protocol,
+        n=args.n,
+        f=byzantine,
+        variant=getattr(args, "variant", "full"),
+        protocol_params=_parse_params(getattr(args, "protocol_param", None)),
+        adversary=args.adversary,
+        churn=churn,
         seed=seed,
         rushing=args.rushing,
         max_rounds=args.max_rounds,
-        until_all_halted=args.protocol not in ("reliable-broadcast",),
         enforce_resiliency=not args.force,
     )
 
 
+def _judge(spec: RunSpec, result) -> CheckReport:
+    """The protocol-appropriate pass/fail report for one finished run."""
+    if spec.protocol == "total-order":
+        chains = {
+            nid: (list(p.output) if p.halted else p.chain)
+            for nid, p in result.network.protocols().items()
+        }
+        return check_chain_prefix(chains)
+    if spec.protocol == "reliable-broadcast":
+        # No decide events to compare; acceptance properties have their
+        # own checker requiring the sender tag — out of run's scope.
+        return CheckReport("reliable-broadcast")
+    return check_agreement(result)
+
+
 def cmd_run(args) -> int:
+    if args.scenario:
+        spec = RunSpec.load(args.scenario)
+        if args.seed is not None:
+            spec = replace(spec, seed=args.seed)
+    elif args.protocol is None:
+        raise SystemExit("run: need a protocol or --scenario FILE")
+    else:
+        spec = _spec_from_args(args, seed=args.seed or 0)
     sink = None
     bus = None
     if args.events:
@@ -132,16 +119,11 @@ def cmd_run(args) -> int:
         bus = EventBus()
         sink = bus.to_jsonl(args.events)
     try:
-        result = run_scenario(_build_scenario(args, seed=args.seed), bus=bus)
+        result = run_spec(spec, bus=bus)
     finally:
         if sink is not None:
             sink.close()
-    variant = getattr(args, "variant", "full")
-    label = args.protocol if variant == "full" else (
-        f"{args.protocol} (sampled)"
-    )
-    print(f"protocol : {label}")
-    print(f"n={args.n} f={args.f} adversary={args.adversary} seed={args.seed}")
+    print(f"scenario : {spec.label()}")
     print(f"rounds   : {result.rounds}")
     print(f"messages : {result.metrics.sends_total}")
     if result.metrics.decisions:
@@ -151,8 +133,8 @@ def cmd_run(args) -> int:
             f"over {result.metrics.decisions} decisions"
         )
     print(f"outputs  : {result.outputs}")
-    report = check_agreement(result)
-    print(f"agreement: {'OK' if report.ok else report.violations}")
+    report = _judge(spec, result)
+    print(f"{report.name}: {'OK' if report.ok else report.violations}")
     if sink is not None:
         print(f"events   : {sink.count} -> {args.events}")
     if args.timeline:
@@ -164,8 +146,8 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    def build(point: Hashable, seed: int):
-        return _build_scenario(args, f_override=point, seed=seed)
+    def build(point: Hashable, seed: int) -> RunSpec:
+        return _spec_from_args(args, f_override=point, seed=seed)
 
     outcome = sweep(
         points=range(0, args.max_f + 1),
@@ -193,24 +175,13 @@ def cmd_matrix(args) -> int:
         agreed = 0
         rounds = []
         for seed in range(args.seeds):
-            scenario = Scenario(
-                correct=args.n - args.f,
-                byzantine=args.f,
-                protocol_factory=_protocol_factory(
-                    args.protocol, getattr(args, "variant", "full"), seed
-                ),
-                strategy_factory=build_strategy(
-                    name,
-                    protocol_factory=_wrapped_factory(
-                        args.protocol, getattr(args, "variant", "full"), seed
-                    ),
-                ),
-                seed=seed,
+            spec = replace(
+                _spec_from_args(args, seed=seed),
+                adversary=name,
                 rushing=True,
-                max_rounds=args.max_rounds,
             )
             try:
-                result = run_scenario(scenario)
+                result = run_spec(spec)
             except Exception:
                 rounds.append(args.max_rounds)
                 continue
@@ -233,10 +204,40 @@ def cmd_matrix(args) -> int:
     return 0 if all(r["ok%"] == 100.0 for r in rows) else 1
 
 
+def cmd_campaign(args) -> int:
+    from repro.analysis.campaign import format_campaign_report, run_campaign
+
+    if args.scenario:
+        base = RunSpec.load(args.scenario)
+    else:
+        base = _spec_from_args(args)
+    report = run_campaign(
+        base,
+        runs=args.runs,
+        campaign_seed=args.campaign_seed,
+        workers=args.workers,
+        artifacts_dir=args.artifacts,
+    )
+    print(format_campaign_report(report))
+    if args.out:
+        report.save(args.out)
+        print(f"report   : {args.out}")
+    if report.violations:
+        print(f"VIOLATIONS: {len(report.violations)}")
+        for record in report.violations[:10]:
+            print(
+                f"  run {record['index']} seed {record['seed']} "
+                f"[{record['monitor']}] {record['message']}"
+            )
+            if "artifact" in record:
+                print(f"    replay: repro run --scenario {record['artifact']}")
+    return 0 if report.ok else 1
+
+
 def cmd_record(args) -> int:
     from repro.sim.replay import RunRecording, record_scenario, verify_replay
 
-    scenario = _build_scenario(args, seed=args.seed)
+    scenario = materialize(_spec_from_args(args, seed=args.seed))
     if args.verify:
         recording = RunRecording.load(args.verify)
         differences = verify_replay(scenario, recording)
@@ -292,8 +293,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p):
-        p.add_argument("protocol", choices=PROTOCOLS)
+    def common(p, protocol_optional: bool = False):
+        if protocol_optional:
+            p.add_argument("protocol", nargs="?", choices=PROTOCOLS)
+        else:
+            p.add_argument("protocol", choices=PROTOCOLS)
         p.add_argument("--n", type=int, default=10, help="total nodes")
         p.add_argument("--f", type=int, default=3, help="Byzantine nodes")
         p.add_argument(
@@ -308,8 +312,14 @@ def build_parser() -> argparse.ArgumentParser:
             choices=("full", "sampled"),
             default="full",
             help="'sampled' runs the committee-sampled variant "
-            "(consensus/parallel only): a polylog committee decides, "
-            "everyone else adopts via implicit agreement",
+            f"({'/'.join(SAMPLED_PROTOCOLS)} only): a polylog committee "
+            "decides, everyone else adopts via implicit agreement",
+        )
+        p.add_argument(
+            "--protocol-param",
+            action="append",
+            metavar="KEY=VALUE",
+            help="protocol-specific knob (JSON value), repeatable",
         )
         p.add_argument(
             "--force",
@@ -318,8 +328,15 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     run_p = sub.add_parser("run", help="one seeded run")
-    common(run_p)
-    run_p.add_argument("--seed", type=int, default=0)
+    common(run_p, protocol_optional=True)
+    run_p.add_argument("--seed", type=int, default=None)
+    run_p.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help="load the RunSpec from a JSON file (e.g. a campaign "
+        "violation artifact) instead of building it from flags",
+    )
     run_p.add_argument(
         "--timeline",
         action="store_true",
@@ -346,6 +363,71 @@ def build_parser() -> argparse.ArgumentParser:
     common(matrix_p)
     matrix_p.add_argument("--seeds", type=int, default=3)
     matrix_p.set_defaults(func=cmd_matrix)
+
+    campaign_p = sub.add_parser(
+        "campaign",
+        help="Monte Carlo churn campaign: many seeded runs, one "
+        "violation-rate report (see docs/scenarios.md)",
+    )
+    campaign_p.add_argument(
+        "protocol", nargs="?", default="total-order", choices=PROTOCOLS
+    )
+    campaign_p.add_argument("--n", type=int, default=9, help="total nodes")
+    campaign_p.add_argument("--f", type=int, default=2)
+    campaign_p.add_argument(
+        "--adversary", default="silent", choices=STRATEGY_BUILDERS
+    )
+    campaign_p.add_argument("--rushing", action="store_true")
+    campaign_p.add_argument("--max-rounds", type=int, default=48)
+    campaign_p.add_argument(
+        "--churn",
+        default="rate",
+        choices=(*CHURN_KINDS, "none"),
+        help="churn generator for every run (default: rate)",
+    )
+    campaign_p.add_argument(
+        "--churn-param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="churn generator parameter (JSON value), repeatable",
+    )
+    campaign_p.add_argument(
+        "--protocol-param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="protocol-specific knob (JSON value), repeatable",
+    )
+    campaign_p.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help="load the base RunSpec from a JSON file instead of flags",
+    )
+    campaign_p.add_argument("--runs", type=int, default=1000)
+    campaign_p.add_argument(
+        "--campaign-seed",
+        type=int,
+        default=0,
+        help="master seed; per-run seeds derive from (it, run index)",
+    )
+    campaign_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size (report bytes are worker-count-invariant)",
+    )
+    campaign_p.add_argument(
+        "--out", default=None, metavar="FILE", help="save the JSON report"
+    )
+    campaign_p.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="save each violating RunSpec as a replayable JSON artifact",
+    )
+    campaign_p.set_defaults(
+        func=cmd_campaign, variant="full", force=False
+    )
 
     record_p = sub.add_parser(
         "record", help="record a run to JSONL, or verify one"

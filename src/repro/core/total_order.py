@@ -252,19 +252,23 @@ class TotalOrderNode(Protocol):
 
     def _advance_finality(self, api: NodeApi) -> None:
         advanced = False
+        appended: list[ChainEntry] = []
         while (self.final_through + 1) in self.machines and self._is_final(
             self.final_through + 1
         ):
             self.final_through += 1
             machine, _size = self.machines.pop(self.final_through)
             for source, value in machine.output_pairs():
-                self.chain.append((self.final_through, source, value))
+                entry = (self.final_through, source, value)
+                self.chain.append(entry)
+                appended.append(entry)
             advanced = True
         if advanced:
             api.emit(
                 "to-chain",
                 final_through=self.final_through,
                 length=len(self.chain),
+                entries=appended,
             )
 
     # ------------------------------------------------------------------

@@ -28,12 +28,13 @@ BASELINE_VERSION = 1
 def normalize_path(path: str) -> str:
     """Invocation-independent form of *path* for fingerprinting.
 
-    Anchors at the last ``repro`` (else ``src``) segment so linting
-    ``src``, ``src/repro``, or an absolute path all fingerprint a file
-    identically; always forward-slashed for OS independence.
+    Anchors at the last ``repro`` (else ``benchmarks``, else ``src``)
+    segment so linting ``src``, ``src/repro``, ``benchmarks``, or an
+    absolute path all fingerprint a file identically; always
+    forward-slashed for OS independence.
     """
     parts = path.replace("\\", "/").split("/")
-    for anchor in ("repro", "src"):
+    for anchor in ("repro", "benchmarks", "src"):
         if anchor in parts:
             index = len(parts) - 1 - parts[::-1].index(anchor)
             return "/".join(parts[index:])

@@ -36,6 +36,7 @@ KNOWN_LAYERS = (
     "analysis",
     "obs",
     "lint",
+    "scenario",
 )
 
 

@@ -40,6 +40,7 @@ from repro.lint.rules.quorum_math import (
     FloatDivisionThreshold,
     QuorumFractionLiteral,
 )
+from repro.lint.rules.scenario_bypass import ScenarioLayerBypass
 
 
 def all_rules() -> list[Rule]:
@@ -62,6 +63,7 @@ def all_rules() -> list[Rule]:
         ColumnarInternalsAccess(),
         CommitteeInternalsAccess(),
         EventPlaneBypass(),
+        ScenarioLayerBypass(),
     ]
 
 

@@ -1,0 +1,279 @@
+"""Seeded churn-schedule generators.
+
+The paper's dynamic model lets the adversary schedule joins and forced
+leaves, subject to ``n > 3f`` when each round starts.  A
+:class:`~repro.scenario.spec.ChurnSpec` names one of three generators:
+
+* ``rate`` — per-round join/leave coin flips over a window (the EpTO
+  ``CHURN_RATE`` workload shape);
+* ``crash-recover`` — a node is forcibly removed and later rejoins
+  under the *same id*, exercising the engine's re-admission path;
+* ``bursts`` — adversarially timed churn: a clump of joins lands at
+  once, and some of those joiners are yanked exactly when established
+  members admit them to ``S`` (three rounds later — the worst moment
+  for the membership view).
+
+Every generator draws from ``make_rng(spec.seed ^ CHURN_SALT)`` — a
+stream independent of the engine's own randomness, so the same spec
+always yields the same schedule, and changing only the protocol seed
+path never silently reshuffles the churn.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.membership import MembershipSchedule
+from repro.sim.rng import make_rng
+from repro.types import NodeId
+
+#: XOR'd into the spec seed so churn and engine randomness are
+#: independent streams of the one master seed.
+CHURN_SALT = 0x5EED_CA11
+
+__all__ = ["CHURN_SALT", "CHURN_KINDS", "build_membership", "validate_schedule"]
+
+
+def _fresh_id(rng, taken: set[NodeId], id_space: int) -> NodeId:
+    while True:
+        candidate = rng.randrange(1, id_space)
+        if candidate not in taken:
+            taken.add(candidate)
+            return candidate
+
+
+def _joiner_factory(spec, entry, node_id: NodeId, round_no: int):
+    if entry.joiner is None:
+        raise ConfigurationError(
+            f"protocol {spec.protocol!r} has no join handshake; churn "
+            "schedules need a protocol with a registered joiner "
+            "(e.g. total-order)"
+        )
+    return entry.joiner(spec, node_id, round_no)
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+def _rate_schedule(
+    spec, entry, correct_ids: Sequence[NodeId], byz_ids: Sequence[NodeId]
+) -> MembershipSchedule:
+    """Independent per-round join/leave coin flips over a window."""
+    params = dict(spec.churn.params)
+    join_rate = float(params.pop("join_rate", 0.08))
+    leave_rate = float(params.pop("leave_rate", 0.04))
+    start = int(params.pop("start", 12))
+    stop = int(params.pop("stop", max(start, spec.max_rounds - 25)))
+    max_joins = params.pop("max_joins", None)
+    max_leaves = params.pop("max_leaves", None)
+    _reject_unknown("rate", params)
+
+    rng = make_rng(spec.seed, salt=CHURN_SALT)
+    schedule = MembershipSchedule()
+    taken = set(correct_ids) | set(byz_ids)
+    correct_alive = set(correct_ids)
+    f_alive = len(byz_ids)
+    joins = leaves = 0
+    for round_no in range(start, stop):
+        if (max_joins is None or joins < max_joins) and (
+            rng.random() < join_rate
+        ):
+            joiner = _fresh_id(rng, taken, spec.id_space)
+            schedule.join(
+                round_no,
+                joiner,
+                _joiner_factory(spec, entry, joiner, round_no),
+            )
+            correct_alive.add(joiner)
+            joins += 1
+        if (max_leaves is None or leaves < max_leaves) and (
+            rng.random() < leave_rate
+        ):
+            # Remove a random correct member — but never below the
+            # resiliency floor the dynamic model requires per round.
+            n_after = len(correct_alive) - 1 + f_alive
+            if correct_alive and (
+                not spec.enforce_resiliency or n_after > 3 * f_alive
+            ):
+                victim = rng.choice(sorted(correct_alive))
+                schedule.leave(round_no, victim)
+                correct_alive.discard(victim)
+                leaves += 1
+    return schedule
+
+
+def _crash_recover_schedule(
+    spec, entry, correct_ids: Sequence[NodeId], byz_ids: Sequence[NodeId]
+) -> MembershipSchedule:
+    """Forced removals followed by same-id rejoins."""
+    params = dict(spec.churn.params)
+    pairs = int(params.pop("pairs", 1))
+    first = int(params.pop("first", 16))
+    gap = int(params.pop("gap", 8))
+    spacing = int(params.pop("spacing", 12))
+    _reject_unknown("crash-recover", params)
+    if gap < 2:
+        raise ConfigurationError(
+            "crash-recover gap must be >= 2: a node cannot rejoin the "
+            "round it is removed"
+        )
+    if pairs > len(correct_ids):
+        raise ConfigurationError(
+            f"crash-recover pairs={pairs} exceeds the {len(correct_ids)} "
+            "correct founders"
+        )
+
+    rng = make_rng(spec.seed, salt=CHURN_SALT)
+    victims = rng.sample(sorted(correct_ids), pairs)
+    schedule = MembershipSchedule()
+    f_alive = len(byz_ids)
+    n_during = len(correct_ids) - 1 + f_alive
+    if spec.enforce_resiliency and not n_during > 3 * f_alive:
+        raise ConfigurationError(
+            f"crash-recover downtime leaves n={n_during}, f={f_alive}: "
+            "violates n > 3f"
+        )
+    for k, victim in enumerate(victims):
+        down = first + k * spacing
+        schedule.leave(down, victim)
+        schedule.join(
+            down + gap,
+            victim,
+            _joiner_factory(spec, entry, victim, down + gap),
+        )
+    return schedule
+
+
+def _bursts_schedule(
+    spec, entry, correct_ids: Sequence[NodeId], byz_ids: Sequence[NodeId]
+) -> MembershipSchedule:
+    """Clumped joins, with some joiners yanked at their admission round."""
+    params = dict(spec.churn.params)
+    first = int(params.pop("first", 14))
+    period = int(params.pop("period", 7))
+    count = int(params.pop("count", 3))
+    joins_per_burst = int(params.pop("joins", 1))
+    leaves_per_burst = int(params.pop("leaves", 0))
+    _reject_unknown("bursts", params)
+    if leaves_per_burst > joins_per_burst:
+        raise ConfigurationError(
+            "bursts: cannot yank more joiners than the burst admits"
+        )
+
+    rng = make_rng(spec.seed, salt=CHURN_SALT)
+    schedule = MembershipSchedule()
+    taken = set(correct_ids) | set(byz_ids)
+    for burst in range(count):
+        round_no = first + period * burst
+        burst_joiners = []
+        for _ in range(joins_per_burst):
+            joiner = _fresh_id(rng, taken, spec.id_space)
+            schedule.join(
+                round_no,
+                joiner,
+                _joiner_factory(spec, entry, joiner, round_no),
+            )
+            burst_joiners.append(joiner)
+        # Established members admit a joiner to S three rounds after its
+        # `present` lands; removing it exactly then maximizes the damage
+        # a churn adversary can do to the membership views.
+        for victim in burst_joiners[:leaves_per_burst]:
+            schedule.leave(round_no + 3, victim)
+    return schedule
+
+
+def _reject_unknown(kind: str, leftovers: dict[str, Any]) -> None:
+    if leftovers:
+        raise ConfigurationError(
+            f"unknown churn params for {kind!r}: {sorted(leftovers)}"
+        )
+
+
+_GENERATORS: dict[
+    str, Callable[..., MembershipSchedule]
+] = {
+    "rate": _rate_schedule,
+    "crash-recover": _crash_recover_schedule,
+    "bursts": _bursts_schedule,
+}
+
+#: Registered churn generator names.
+CHURN_KINDS: tuple[str, ...] = tuple(_GENERATORS)
+
+
+def build_membership(
+    spec,
+    entry,
+    correct_ids: Sequence[NodeId],
+    byz_ids: Sequence[NodeId],
+) -> MembershipSchedule:
+    """Generate and validate the membership schedule for *spec*."""
+    try:
+        generator = _GENERATORS[spec.churn.kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown churn kind {spec.churn.kind!r}; known: "
+            f"{', '.join(CHURN_KINDS)}"
+        ) from None
+    schedule = generator(spec, entry, correct_ids, byz_ids)
+    validate_schedule(
+        schedule,
+        correct_ids,
+        byz_ids,
+        enforce_resiliency=spec.enforce_resiliency,
+    )
+    return schedule
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+def validate_schedule(
+    schedule: MembershipSchedule,
+    correct_ids: Sequence[NodeId],
+    byz_ids: Sequence[NodeId],
+    *,
+    enforce_resiliency: bool = True,
+) -> None:
+    """Replay the schedule against the starting population.
+
+    Raises :class:`~repro.errors.ConfigurationError` when a join
+    re-admits an id that is still alive, or when any round would start
+    with ``n <= 3f`` (counting scheduled joins and forced leaves, with
+    Byzantine joins raising ``f``) while ``enforce_resiliency`` holds.
+    Forced leaves of departed or unknown ids are allowed — the engine
+    treats them as no-ops, mirroring an adversary wasting a removal.
+    """
+    correct_alive = set(correct_ids)
+    byz_alive = set(byz_ids)
+    departed: set[NodeId] = set()
+    rounds = sorted(
+        {j.round for j in schedule.joins}
+        | {leave.round for leave in schedule.leaves}
+    )
+    for round_no in rounds:
+        for join in schedule.joins_at(round_no):
+            if join.node_id in correct_alive or join.node_id in byz_alive:
+                raise ConfigurationError(
+                    f"round {round_no}: join of node {join.node_id} "
+                    "which is still alive"
+                )
+            departed.discard(join.node_id)
+            (byz_alive if join.byzantine else correct_alive).add(
+                join.node_id
+            )
+        for leave in schedule.leaves_at(round_no):
+            if leave.node_id in correct_alive:
+                correct_alive.discard(leave.node_id)
+                departed.add(leave.node_id)
+            elif leave.node_id in byz_alive:
+                byz_alive.discard(leave.node_id)
+                departed.add(leave.node_id)
+            # else: already departed / never present — engine no-op.
+        n_alive = len(correct_alive) + len(byz_alive)
+        if enforce_resiliency and not n_alive > 3 * len(byz_alive):
+            raise ConfigurationError(
+                f"round {round_no}: schedule leaves n={n_alive}, "
+                f"f={len(byz_alive)} — violates n > 3f"
+            )

@@ -1,0 +1,287 @@
+"""Name resolution: protocols, variants, and input assignments.
+
+A :class:`RunSpec` names its protocol and input assignment; this module
+maps those names onto the concrete factories the simulator needs.  Each
+:class:`ProtocolEntry` knows how to build the per-node protocol from a
+spec, which run-loop stop condition the protocol wants, which variants
+exist, and — for dynamic protocols — how to build a mid-run joiner
+(churn generators refuse protocols without a ``joiner``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+from repro.core import (
+    ApproximateAgreement,
+    BinaryKingConsensus,
+    ByzantineRenaming,
+    CommitteeConsensus,
+    CommitteeParallelConsensus,
+    EarlyConsensus,
+    InteractiveConsistency,
+    ParallelConsensus,
+    ReliableBroadcast,
+    RotorCoordinator,
+    TerminatingReliableBroadcast,
+)
+from repro.core.total_order import TotalOrderNode, events_from_dict
+from repro.errors import ConfigurationError
+from repro.sim.runner import ProtocolFactory
+from repro.types import NodeId, Round
+
+#: (node_id, index among correct nodes) -> that node's input value.
+InputFn = Callable[[NodeId, int], Hashable]
+
+__all__ = [
+    "InputFn",
+    "PROTOCOLS",
+    "ProtocolEntry",
+    "alternating_inputs",
+    "get_protocol",
+    "index_inputs",
+    "resolve_inputs",
+    "supermajority_inputs",
+]
+
+
+# ---------------------------------------------------------------------------
+# Input assignments
+# ---------------------------------------------------------------------------
+def alternating_inputs(nid: NodeId, index: int) -> Hashable:
+    """A worst-case near-even binary split.
+
+    Useful for *internal* agreement checks, but not for oracle
+    comparison: with no supermajority, both 0 and 1 are valid outcomes
+    and the full-broadcast and committee runs — different executions
+    over different memberships — may legitimately resolve differently.
+    """
+    return index % 2
+
+
+def supermajority_inputs(nid: NodeId, index: int) -> Hashable:
+    """A 7:1 biased binary split.
+
+    When ≥ 2/3 of a (sub)population holds the same input, Algorithm 3
+    terminates on it in its first phase — validity pins the outcome, so
+    an oracle and a sampled run *must* produce the same value and
+    comparing them is meaningful.  The 7:1 margin keeps a sampled
+    committee's own majority fraction above 2/3 with overwhelming
+    probability (≈ 6σ at c ≈ 100), and the run still exercises both
+    values on the wire.
+    """
+    return 0 if index % 8 else 1
+
+
+def index_inputs(nid: NodeId, index: int) -> Hashable:
+    """Every node inputs its own index — all-distinct values."""
+    return index
+
+
+_INPUT_ASSIGNMENTS: dict[str, InputFn] = {
+    "alternating": alternating_inputs,
+    "supermajority": supermajority_inputs,
+    "index": index_inputs,
+}
+
+
+def resolve_inputs(name: str) -> InputFn:
+    """Map an input-assignment name to its ``(nid, index) -> value`` fn.
+
+    ``constant:<json>`` assigns the parsed JSON value to every node,
+    e.g. ``constant:0`` or ``constant:"spam"``.
+    """
+    if name.startswith("constant:"):
+        try:
+            value = json.loads(name.split(":", 1)[1])
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"bad constant input assignment {name!r}: {exc}"
+            ) from exc
+        return lambda nid, index: value
+    try:
+        return _INPUT_ASSIGNMENTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown input assignment {name!r}; known: "
+            f"{sorted(_INPUT_ASSIGNMENTS)} or 'constant:<json>'"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Protocol entries
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProtocolEntry:
+    """Everything the builder needs to know about one protocol name."""
+
+    name: str
+    #: (spec, input_fn) -> the Scenario protocol factory.
+    build: Callable[[Any, InputFn], ProtocolFactory]
+    default_inputs: str = "alternating"
+    until_all_halted: bool = True
+    variants: tuple[str, ...] = ("full",)
+    #: (spec, node_id, join_round) -> zero-arg factory for a mid-run
+    #: joiner; None means the protocol has no join handshake and churn
+    #: schedules cannot target it.
+    joiner: Callable[[Any, NodeId, Round], Callable[[], Any]] | None = None
+
+
+def _consensus_build(spec, input_fn: InputFn) -> ProtocolFactory:
+    if spec.variant == "sampled":
+        return lambda nid, i: CommitteeConsensus(
+            input_fn(nid, i), sampling_seed=spec.seed
+        )
+    return lambda nid, i: EarlyConsensus(input_fn(nid, i))
+
+
+def _binary_consensus_build(spec, input_fn: InputFn) -> ProtocolFactory:
+    return lambda nid, i: BinaryKingConsensus(input_fn(nid, i))
+
+
+def _rotor_build(spec, input_fn: InputFn) -> ProtocolFactory:
+    return lambda nid, i: RotorCoordinator(opinion=input_fn(nid, i))
+
+
+def _approx_build(spec, input_fn: InputFn) -> ProtocolFactory:
+    return lambda nid, i: ApproximateAgreement(float(input_fn(nid, i)))
+
+
+def _renaming_build(spec, input_fn: InputFn) -> ProtocolFactory:
+    return lambda nid, i: ByzantineRenaming()
+
+
+def _parallel_build(spec, input_fn: InputFn) -> ProtocolFactory:
+    if spec.variant == "sampled":
+        return lambda nid, i: CommitteeParallelConsensus(
+            {"k": input_fn(nid, i)}, sampling_seed=spec.seed
+        )
+    return lambda nid, i: ParallelConsensus({"k": input_fn(nid, i)})
+
+
+def _interactive_consistency_build(spec, input_fn: InputFn) -> ProtocolFactory:
+    return lambda nid, i: InteractiveConsistency(input_fn(nid, i))
+
+
+def _trb_build(spec, input_fn: InputFn) -> ProtocolFactory:
+    payload = spec.protocol_params.get("payload", "payload")
+    # Index 0's node acts as the designated sender; the factory is
+    # called in index order, so the first call fixes the sender id.
+    sender: list[NodeId] = []
+
+    def build(nid: NodeId, i: int):
+        if i == 0:
+            sender.append(nid)
+        return TerminatingReliableBroadcast(
+            sender[0], payload if i == 0 else None
+        )
+
+    return build
+
+
+def _reliable_broadcast_build(spec, input_fn: InputFn) -> ProtocolFactory:
+    payload = spec.protocol_params.get("payload", "payload")
+    sender: list[NodeId] = []
+
+    def build(nid: NodeId, i: int):
+        if i == 0:
+            sender.append(nid)
+        return ReliableBroadcast(sender[0], payload if i == 0 else None)
+
+    return build
+
+
+def _total_order_event_plan(spec, index: int) -> dict[int, Hashable]:
+    params = spec.protocol_params
+    first = int(params.get("event_first", 2))
+    last = int(params.get("event_last", 60))
+    every = int(params.get("event_every", 5))
+    if every <= 0:
+        return {}
+    return {r: f"e{index}@{r}" for r in range(first, last, every)}
+
+
+def _total_order_build(spec, input_fn: InputFn) -> ProtocolFactory:
+    params = spec.protocol_params
+    leavers = int(params.get("leavers", 0))
+    leave_base = int(params.get("leave_base", 30))
+    leave_step = int(params.get("leave_step", 5))
+
+    def build(nid: NodeId, i: int):
+        node = TotalOrderNode(
+            event_source=events_from_dict(_total_order_event_plan(spec, i))
+        )
+        if i < leavers:
+            node.leave_at = leave_base + leave_step * i
+        return node
+
+    return build
+
+
+def _total_order_joiner(spec, node_id: NodeId, round_no: Round):
+    params = spec.protocol_params
+    plan: dict[int, Hashable] = {}
+    if params.get("joiner_events"):
+        first = int(params.get("event_first", 2))
+        last = int(params.get("event_last", 60))
+        every = int(params.get("event_every", 5))
+        if every > 0:
+            plan = {
+                r: f"j{node_id}@{r}" for r in range(first, last, every)
+            }
+    return lambda: TotalOrderNode(
+        event_source=events_from_dict(plan), seed=False
+    )
+
+
+_ENTRIES: dict[str, ProtocolEntry] = {
+    entry.name: entry
+    for entry in (
+        ProtocolEntry(
+            "consensus", _consensus_build, variants=("full", "sampled")
+        ),
+        ProtocolEntry("binary-consensus", _binary_consensus_build),
+        ProtocolEntry("rotor", _rotor_build, default_inputs="index"),
+        ProtocolEntry("approx", _approx_build, default_inputs="index"),
+        ProtocolEntry("renaming", _renaming_build),
+        ProtocolEntry(
+            "parallel", _parallel_build, variants=("full", "sampled")
+        ),
+        ProtocolEntry(
+            "interactive-consistency",
+            _interactive_consistency_build,
+            default_inputs="index",
+        ),
+        ProtocolEntry("trb", _trb_build),
+        ProtocolEntry(
+            "reliable-broadcast",
+            _reliable_broadcast_build,
+            until_all_halted=False,
+        ),
+        ProtocolEntry(
+            "total-order",
+            _total_order_build,
+            until_all_halted=False,
+            joiner=_total_order_joiner,
+        ),
+    )
+}
+
+#: Every registered protocol name, in registration order.
+PROTOCOLS: tuple[str, ...] = tuple(_ENTRIES)
+
+#: Protocols with a committee-sampled variant.
+SAMPLED_PROTOCOLS: tuple[str, ...] = tuple(
+    name for name, entry in _ENTRIES.items() if "sampled" in entry.variants
+)
+
+
+def get_protocol(name: str) -> ProtocolEntry:
+    try:
+        return _ENTRIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; known: {', '.join(PROTOCOLS)}"
+        ) from None

@@ -41,10 +41,35 @@ class LeaveSpec:
 
 @dataclass
 class MembershipSchedule:
-    """Scheduled joins and forced leaves for one run."""
+    """Scheduled joins and forced leaves for one run.
+
+    The engine asks :meth:`joins_at`/:meth:`leaves_at` once per round;
+    both answer out of round-keyed buckets, so a 10k-entry campaign
+    schedule costs O(1) per round instead of an O(schedule) scan.  The
+    buckets are rebuilt lazily whenever the entry counts change, so
+    callers that extend ``joins``/``leaves`` directly (rather than via
+    :meth:`join`/:meth:`leave`) stay correct.
+    """
 
     joins: list[JoinSpec] = field(default_factory=list)
     leaves: list[LeaveSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._join_buckets: dict[Round, list[JoinSpec]] = {}
+        self._leave_buckets: dict[Round, list[LeaveSpec]] = {}
+        self._bucketed = (-1, -1)  # force a build on first query
+
+    def _rebucket(self) -> None:
+        counts = (len(self.joins), len(self.leaves))
+        if counts == self._bucketed:
+            return
+        self._join_buckets = {}
+        for join in self.joins:
+            self._join_buckets.setdefault(join.round, []).append(join)
+        self._leave_buckets = {}
+        for leave in self.leaves:
+            self._leave_buckets.setdefault(leave.round, []).append(leave)
+        self._bucketed = counts
 
     def join(
         self,
@@ -61,10 +86,12 @@ class MembershipSchedule:
         return self
 
     def joins_at(self, round_no: Round) -> list[JoinSpec]:
-        return [j for j in self.joins if j.round == round_no]
+        self._rebucket()
+        return list(self._join_buckets.get(round_no, ()))
 
     def leaves_at(self, round_no: Round) -> list[LeaveSpec]:
-        return [l for l in self.leaves if l.round == round_no]
+        self._rebucket()
+        return list(self._leave_buckets.get(round_no, ()))
 
     def is_empty(self) -> bool:
         return not self.joins and not self.leaves

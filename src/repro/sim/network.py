@@ -261,8 +261,15 @@ class SyncNetwork:
         self._register(node_id, strategy, byzantine=True)
 
     def _register(self, node_id: NodeId, behaviour: Any, byzantine: bool) -> None:
-        if node_id in self._nodes:
-            raise ConfigurationError(f"duplicate node id {node_id}")
+        existing = self._nodes.get(node_id)
+        if existing is not None:
+            if existing.alive:
+                raise ConfigurationError(f"duplicate node id {node_id}")
+            # A departed id may rejoin (crash-recover churn): the node
+            # comes back as a brand-new participant — fresh behaviour,
+            # empty contacts, joiner handshake — its pre-crash state and
+            # outputs are gone.
+            del self._nodes[node_id]
         self._nodes[node_id] = _NodeState(
             node_id=node_id,
             behaviour=behaviour,

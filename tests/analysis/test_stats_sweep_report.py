@@ -1,13 +1,16 @@
 """Tests for stats aggregation, sweeps, and table rendering."""
 
+import json
+from dataclasses import replace
+
 import pytest
 
 from repro.analysis.report import format_table
 from repro.analysis.stats import summarize_runs
 from repro.analysis.sweep import sweep
-from repro.core.consensus import EarlyConsensus
+from repro.scenario import RunSpec
 from repro.sim.metrics import Metrics
-from repro.sim.runner import Scenario, ScenarioResult
+from repro.sim.runner import ScenarioResult
 from repro.sim.trace import Trace
 
 
@@ -58,9 +61,10 @@ class TestStats:
 
 class TestSweep:
     def build(self, point, seed):
-        return Scenario(
-            correct=4,
-            protocol_factory=lambda nid, i: EarlyConsensus(point),
+        return RunSpec(
+            protocol="consensus",
+            n=4,
+            inputs=f"constant:{json.dumps(point)}",
             seed=seed,
             max_rounds=50,
         )
@@ -87,9 +91,8 @@ class TestSweep:
 
     def test_liveness_failures_counted_not_raised(self):
         def tiny_budget(point, seed):
-            scenario = self.build(point, seed)
-            scenario.max_rounds = 1  # cannot possibly finish
-            return scenario
+            # one round cannot possibly finish
+            return replace(self.build(point, seed), max_rounds=1)
 
         outcome = sweep(
             points=["x"],
@@ -106,9 +109,7 @@ class TestSweep:
         from repro.errors import SimulationError
 
         def tiny_budget(point, seed):
-            scenario = self.build(point, seed)
-            scenario.max_rounds = 1
-            return scenario
+            return replace(self.build(point, seed), max_rounds=1)
 
         with _pytest.raises(SimulationError):
             sweep(

@@ -1,0 +1,99 @@
+"""R502 — scenario-layer discipline (run consumers use RunSpec)."""
+
+from __future__ import annotations
+
+
+def codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+class TestScenarioLayerBypass:
+    def test_benchmark_runner_import_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "benchmarks/bench_bad.py": (
+                    "from repro.sim.runner import Scenario, run_scenario\n"
+                )
+            },
+            select=["R502"],
+        )
+        assert codes(result) == ["R502"]
+
+    def test_benchmark_network_import_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "benchmarks/bench_bad.py": (
+                    "from repro.sim.network import SyncNetwork\n"
+                )
+            },
+            select=["R502"],
+        )
+        assert codes(result) == ["R502"]
+
+    def test_benchmark_module_import_flagged(self, lint_tree):
+        result = lint_tree(
+            {"benchmarks/bench_bad.py": "import repro.sim.lossy\n"},
+            select=["R502"],
+        )
+        assert codes(result) == ["R502"]
+
+    def test_benchmark_population_assembly_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "benchmarks/bench_bad.py": """\
+                def one_run(seed):
+                    network = SyncNetwork(seed=seed)
+                    network.add_correct(1, object())
+                    network.add_byzantine(2, object())
+                    return network
+                """
+            },
+            select=["R502"],
+        )
+        assert codes(result) == ["R502", "R502", "R502"]
+
+    def test_cli_scenario_call_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/cli.py": """\
+                def build(args):
+                    return Scenario(correct=args.n)
+                """
+            },
+            select=["R502"],
+        )
+        assert codes(result) == ["R502"]
+
+    def test_benchmark_through_scenario_layer_passes(self, lint_tree):
+        result = lint_tree(
+            {
+                "benchmarks/bench_good.py": """\
+                from repro.scenario import RunSpec, run_spec
+
+                def one_run(seed):
+                    return run_spec(RunSpec(protocol="consensus", n=7,
+                                            seed=seed))
+                """
+            },
+            select=["R502"],
+        )
+        assert result.ok
+
+    def test_scenario_layer_itself_out_of_scope(self, lint_tree):
+        # The scenario package *is* the construction path; the engine
+        # and tests exercise it.  None of them are in scope.
+        source = """\
+        from repro.sim.runner import Scenario, run_scenario
+
+        def build():
+            return Scenario(correct=4)
+        """
+        result = lint_tree(
+            {
+                "repro/scenario/ok.py": source,
+                "repro/sim/ok.py": source,
+                "repro/analysis/ok.py": source,
+            },
+            select=["R502"],
+        )
+        assert result.ok

@@ -7,6 +7,12 @@ checked by ``tests/integration/test_replay_equivalence.py``: any engine
 change that alters a single delivery, output, or round count in any of
 them names the first diverging delivery.
 
+Each scenario is a declarative :class:`~repro.scenario.RunSpec`
+materialized through :mod:`repro.scenario` — the same construction path
+as the CLI, benchmarks, and campaign runner — so the recordings pin the
+scenario layer's wiring (id assignment, input resolution, adversary
+wrapping) along with the engine.
+
 None of the scenarios uses a membership schedule, so their recordings
 are invariant under the delivery-time broadcast-recipient semantics
 (joiners are the only runs the fix intentionally changes).
@@ -22,87 +28,62 @@ from __future__ import annotations
 
 import pathlib
 
-from repro.adversary import (
-    EquivocatorStrategy,
-    MembershipLiarStrategy,
-    QuorumSplitterStrategy,
-)
-from repro.core.consensus import EarlyConsensus
-from repro.core.parallel_consensus import ParallelConsensus
-from repro.core.reliable_broadcast import ReliableBroadcast
-from repro.core.rotor import RotorCoordinator
+from repro.scenario import RunSpec, materialize
 from repro.sim.runner import Scenario
-
-from tests.conftest import predict_ids
 
 DATA_DIR = pathlib.Path(__file__).parent / "data"
 
 
-def reliable_broadcast_scenario() -> Scenario:
-    correct_ids, _ = predict_ids(11, 6, 2)
-    sender = correct_ids[0]
-    return Scenario(
-        correct=6,
-        byzantine=2,
-        protocol_factory=lambda nid, i: ReliableBroadcast(
-            sender, "m" if nid == sender else None
-        ),
-        strategy_factory=lambda nid, i: MembershipLiarStrategy(),
+#: name -> the RunSpec behind each committed recording.
+SPECS = {
+    "reliable_broadcast": RunSpec(
+        protocol="reliable-broadcast",
+        n=8,
+        f=2,
+        protocol_params={"payload": "m"},
+        adversary="membership-liar",
         seed=11,
         rushing=True,
         max_rounds=8,
-        until_all_halted=False,
-    )
-
-
-def rotor_scenario() -> Scenario:
-    return Scenario(
-        correct=6,
-        byzantine=2,
-        protocol_factory=lambda nid, i: RotorCoordinator(opinion=i),
-        strategy_factory=lambda nid, i: EquivocatorStrategy(
-            RotorCoordinator(opinion=-1)
-        ),
+    ),
+    "rotor": RunSpec(
+        protocol="rotor",
+        n=8,
+        f=2,
+        adversary="equivocator",
+        adversary_params={"wrapped_index": -1},
         seed=6,
         rushing=True,
         max_rounds=50,
-    )
-
-
-def consensus_scenario() -> Scenario:
-    return Scenario(
-        correct=5,
-        byzantine=1,
-        protocol_factory=lambda nid, i: EarlyConsensus(i % 2),
-        strategy_factory=lambda nid, i: QuorumSplitterStrategy(
-            EarlyConsensus(0)
-        ),
+    ),
+    "consensus": RunSpec(
+        protocol="consensus",
+        n=6,
+        f=1,
+        adversary="splitter",
         seed=5,
         rushing=True,
         max_rounds=100,
-    )
-
-
-def parallel_consensus_scenario() -> Scenario:
-    return Scenario(
-        correct=6,
-        byzantine=2,
-        protocol_factory=lambda nid, i: ParallelConsensus({"k": i % 2}),
-        strategy_factory=lambda nid, i: QuorumSplitterStrategy(
-            ParallelConsensus({"k": 0})
-        ),
+    ),
+    "parallel_consensus": RunSpec(
+        protocol="parallel",
+        n=8,
+        f=2,
+        adversary="splitter",
         seed=7,
         rushing=True,
         max_rounds=80,
-    )
+    ),
+}
+
+
+def build_scenario(name: str) -> Scenario:
+    return materialize(SPECS[name])
 
 
 #: name -> zero-argument Scenario builder, one per committed recording.
 SCENARIOS = {
-    "reliable_broadcast": reliable_broadcast_scenario,
-    "rotor": rotor_scenario,
-    "consensus": consensus_scenario,
-    "parallel_consensus": parallel_consensus_scenario,
+    name: (lambda name=name: build_scenario(name)) for name in SPECS
 }
 
 

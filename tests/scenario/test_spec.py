@@ -1,0 +1,145 @@
+"""RunSpec: validation, freezing, and the JSON round-trip."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenario import (
+    ChurnSpec,
+    PROTOCOLS,
+    RunSpec,
+    materialize,
+    predict_population,
+    resolve_inputs,
+    run_spec,
+)
+
+
+class TestValidation:
+    def test_resiliency_enforced(self):
+        with pytest.raises(ConfigurationError, match="n > 3f"):
+            RunSpec(protocol="consensus", n=9, f=3).validate()
+
+    def test_force_overrides_resiliency(self):
+        RunSpec(
+            protocol="consensus", n=9, f=3, enforce_resiliency=False
+        ).validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 0},
+            {"n": 4, "f": -1},
+            {"n": 4, "f": 4, "enforce_resiliency": False},
+            {"n": 4, "max_rounds": 0},
+            {"n": 4, "runtime": "teleport"},
+        ],
+    )
+    def test_bad_arithmetic_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RunSpec(protocol="consensus", **kwargs).validate()
+
+    def test_unknown_protocol_rejected_at_materialization(self):
+        with pytest.raises(ConfigurationError, match="unknown protocol"):
+            materialize(RunSpec(protocol="teleportation", n=4))
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigurationError, match="variant"):
+            materialize(RunSpec(protocol="rotor", n=4, variant="sampled"))
+
+    def test_unknown_inputs_rejected(self):
+        with pytest.raises(ConfigurationError, match="input assignment"):
+            resolve_inputs("telepathy")
+
+    def test_constant_inputs(self):
+        fn = resolve_inputs("constant:7")
+        assert fn(123, 0) == 7 and fn(456, 3) == 7
+
+
+class TestFrozen:
+    def test_spec_is_immutable(self):
+        spec = RunSpec(protocol="consensus", n=4)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.max_rounds = 1
+
+    def test_replace_builds_variants(self):
+        base = RunSpec(protocol="consensus", n=7, f=2)
+        sampled = dataclasses.replace(base, variant="sampled")
+        assert base.variant == "full" and sampled.variant == "sampled"
+        assert sampled.n == 7
+
+
+class TestJsonRoundTrip:
+    def spec(self):
+        return RunSpec(
+            protocol="total-order",
+            n=9,
+            f=2,
+            protocol_params={"event_first": 2, "leavers": 1},
+            churn=ChurnSpec("rate", {"join_rate": 0.1}),
+            seed=42,
+            rushing=True,
+            max_rounds=60,
+        )
+
+    def test_dict_round_trip(self):
+        spec = self.spec()
+        assert RunSpec.from_json_dict(spec.to_json_dict()) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        spec = self.spec()
+        path = spec.save(tmp_path / "spec.json")
+        assert RunSpec.load(path) == spec
+
+    def test_unknown_field_rejected(self):
+        doc = self.spec().to_json_dict()
+        doc["warp_factor"] = 9
+        with pytest.raises(ConfigurationError, match="warp_factor"):
+            RunSpec.from_json_dict(doc)
+
+    def test_unknown_churn_field_rejected(self):
+        doc = self.spec().to_json_dict()
+        doc["churn"]["color"] = "red"
+        with pytest.raises(ConfigurationError, match="color"):
+            RunSpec.from_json_dict(doc)
+
+    def test_missing_required_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="'protocol' and 'n'"):
+            RunSpec.from_json_dict({"n": 4})
+
+
+class TestMaterialize:
+    def test_population_prediction_matches_run(self):
+        spec = RunSpec(protocol="consensus", n=7, f=2, seed=3)
+        correct, byz = predict_population(spec)
+        result = run_spec(spec)
+        assert sorted(result.correct_ids) == sorted(correct)
+        assert sorted(result.byzantine_ids) == sorted(byz)
+
+    def test_every_protocol_materializes(self):
+        for protocol in PROTOCOLS:
+            spec = RunSpec(protocol=protocol, n=5, f=1, max_rounds=30)
+            scenario = materialize(spec)
+            assert scenario.correct == 4
+            assert scenario.byzantine == 1
+
+    def test_consensus_run_agrees(self):
+        result = run_spec(
+            RunSpec(protocol="consensus", n=7, f=2, adversary="splitter",
+                    rushing=True, seed=1)
+        )
+        assert len(set(result.outputs.values())) == 1
+
+    def test_label_mentions_the_essentials(self):
+        label = self.sampled_label()
+        assert "consensus" in label
+        assert "(sampled)" in label
+        assert "n=13 f=2" in label
+        assert "seed=5" in label
+
+    @staticmethod
+    def sampled_label():
+        return RunSpec(
+            protocol="consensus", n=13, f=2, variant="sampled", seed=5
+        ).label()

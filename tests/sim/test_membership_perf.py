@@ -1,0 +1,53 @@
+"""Round-bucketed membership lookups must not scan the whole schedule.
+
+``joins_at``/``leaves_at`` are called every round by the engine; with a
+10k-entry campaign-scale schedule, a linear scan per call turns the run
+loop quadratic in schedule size.  The bucketed implementation answers
+each round from a dict, so querying every round of a huge schedule
+costs about the same as building it.
+"""
+
+import time
+
+from repro.sim.membership import MembershipSchedule
+
+ENTRIES = 10_000
+
+
+def big_schedule() -> MembershipSchedule:
+    schedule = MembershipSchedule()
+    for k in range(ENTRIES):
+        schedule.join(k % 2_000, 100_000 + k, lambda: None)
+        schedule.leave(k % 2_000, 200_000 + k)
+    return schedule
+
+
+def test_lookups_are_bucketed_not_scanned():
+    schedule = big_schedule()
+    # Warm the buckets, then time one engine-like pass: every round
+    # queried once.  A per-call linear scan over 10k entries would do
+    # ~20M spec touches and take seconds; buckets answer from a dict.
+    schedule.joins_at(0)
+    start = time.perf_counter()
+    total_joins = total_leaves = 0
+    for round_no in range(2_000):
+        total_joins += len(schedule.joins_at(round_no))
+        total_leaves += len(schedule.leaves_at(round_no))
+    elapsed = time.perf_counter() - start
+    assert total_joins == ENTRIES
+    assert total_leaves == ENTRIES
+    assert elapsed < 0.5, (
+        f"querying 2k rounds of a {ENTRIES}-entry schedule took "
+        f"{elapsed:.2f}s — lookups are scanning, not bucketed"
+    )
+
+
+def test_buckets_rebuild_after_mutation():
+    schedule = MembershipSchedule()
+    schedule.join(3, 7, lambda: None)
+    assert [j.node_id for j in schedule.joins_at(3)] == [7]
+    schedule.join(3, 8, lambda: None)
+    assert [j.node_id for j in schedule.joins_at(3)] == [7, 8]
+    schedule.leave(4, 7)
+    assert [leave.node_id for leave in schedule.leaves_at(4)] == [7]
+    assert schedule.leaves_at(3) == []

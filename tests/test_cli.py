@@ -202,3 +202,81 @@ class TestCommands:
         assert code == 0
         assert "Lemma 9.1" in out
         assert "disagreement     : True" in out
+
+
+class TestScenarioFile:
+    def test_run_from_scenario_file(self, tmp_path, capsys):
+        from repro.scenario import RunSpec
+
+        path = RunSpec(
+            protocol="consensus", n=7, f=2, adversary="splitter",
+            rushing=True, seed=4,
+        ).save(tmp_path / "spec.json")
+        code = main(["run", "--scenario", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "agreement: OK" in out
+        assert "seed=4" in out
+
+    def test_seed_flag_overrides_scenario_seed(self, tmp_path, capsys):
+        from repro.scenario import RunSpec
+
+        path = RunSpec(protocol="consensus", n=7, f=2, seed=4).save(
+            tmp_path / "spec.json"
+        )
+        code = main(["run", "--scenario", str(path), "--seed", "9"])
+        assert code == 0
+        assert "seed=9" in capsys.readouterr().out
+
+    def test_run_without_protocol_or_scenario_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+
+class TestCampaign:
+    def test_small_total_order_campaign(self, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "report.json"
+        code = main(
+            [
+                "campaign",
+                "--runs", "4",
+                "--max-rounds", "48",
+                "--churn-param", "start=10",
+                "--churn-param", "stop=30",
+                "--protocol-param", "event_last=26",
+                "--protocol-param", "event_every=4",
+                "--out", str(report),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chain-prefix" in out
+        assert "violation rate%" in out
+        doc = json.loads(report.read_text())
+        assert doc["runs"] == 4
+        assert doc["base"]["protocol"] == "total-order"
+
+    def test_campaign_reports_violations_with_artifacts(
+        self, tmp_path, capsys
+    ):
+        # A one-round budget cannot finish: exit 1 plus replay pointers.
+        code = main(
+            [
+                "campaign",
+                "consensus",
+                "--n", "4",
+                "--f", "0",
+                "--churn", "none",
+                "--max-rounds", "1",
+                "--runs", "2",
+                "--artifacts", str(tmp_path / "bad"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATIONS: 2" in out
+        assert "repro run --scenario" in out
+        artifacts = sorted((tmp_path / "bad").glob("*.json"))
+        assert len(artifacts) == 2
